@@ -1,0 +1,31 @@
+# OpenNF reproduction — common workflows.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples validate clean results
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+validate:
+	$(PYTHON) -m repro.cli validate --seeds 3
+
+results:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache benchmarks/results/*.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

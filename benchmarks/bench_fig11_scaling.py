@@ -1,0 +1,80 @@
+"""Figure 11: move behaviour vs packet rate and state size (§8.1.1).
+
+* (a) packets dropped during a parallelized **no-guarantee** move, as a
+  function of packet rate, for 250/500/1000 flows — the paper observes
+  a linear increase with rate ("more packets arrive in the window
+  between the start of move and the routing update taking effect");
+* (b) total time of a parallelized **loss-free** move over the same
+  sweep — time grows with flow count (more chunks to serialize) and
+  rises more steeply at high packet rates (the switch's packet-out rate
+  limits how fast evented packets can be flushed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import run_move_experiment
+
+from common import format_table, publish, run_once
+
+RATES = [1000.0, 2500.0, 5000.0, 7500.0, 10000.0]
+FLOW_COUNTS = [250, 500, 1000]
+DATA_PACKETS = 40
+
+
+def run_figure11():
+    drops = {}
+    times = {}
+    for n_flows in FLOW_COUNTS:
+        for rate in RATES:
+            ng = run_move_experiment(
+                "ng", n_flows=n_flows, rate_pps=rate,
+                data_packets=DATA_PACKETS, seed=7,
+            )
+            lf = run_move_experiment(
+                "lf", n_flows=n_flows, rate_pps=rate,
+                data_packets=DATA_PACKETS, seed=7,
+            )
+            drops[(n_flows, rate)] = ng.report.packets_dropped
+            times[(n_flows, rate)] = lf.duration_ms
+            assert lf.report.packets_dropped == 0
+    return drops, times
+
+
+def test_fig11_rate_and_size_scaling(benchmark):
+    drops, times = run_once(benchmark, run_figure11)
+
+    rows_a = [
+        [int(rate)] + [drops[(n, rate)] for n in FLOW_COUNTS] for rate in RATES
+    ]
+    publish(
+        "fig11a_ng_drops",
+        format_table(
+            "Figure 11(a) — packet drops during parallelized NG move",
+            ["rate_pps"] + ["%d flows" % n for n in FLOW_COUNTS],
+            rows_a,
+        ),
+    )
+    rows_b = [
+        [int(rate)] + ["%.0f" % times[(n, rate)] for n in FLOW_COUNTS]
+        for rate in RATES
+    ]
+    publish(
+        "fig11b_lf_time",
+        format_table(
+            "Figure 11(b) — total time of parallelized loss-free move (sim ms)",
+            ["rate_pps"] + ["%d flows" % n for n in FLOW_COUNTS],
+            rows_b,
+        ),
+    )
+
+    for n_flows in FLOW_COUNTS:
+        # (a) drops increase with packet rate...
+        assert drops[(n_flows, RATES[-1])] > drops[(n_flows, RATES[0])]
+        # (b) ...and loss-free time rises with rate (packet-out limit).
+        assert times[(n_flows, RATES[-1])] > times[(n_flows, RATES[0])]
+    for rate in RATES:
+        # More per-flow state -> more drops and longer moves.
+        assert drops[(1000, rate)] > drops[(250, rate)]
+        assert times[(1000, rate)] > times[(250, rate)]

@@ -1,0 +1,111 @@
+"""Figure 12: southbound export/import efficiency (§8.2.1).
+
+Measures ``getPerflow`` and ``putPerflow`` completion time as a function
+of the number of flows whose state moves, for iptables, PRADS, and Bro.
+Paper shape: both scale linearly in chunk count; put completes at least
+2× faster than get; Bro is the most expensive by far (big, complex
+per-flow object graphs); iptables is the cheapest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple
+from repro.nf import NFClient, Scope
+from repro.nfs.ids import IntrusionDetector
+from repro.nfs.monitor import AssetMonitor
+from repro.nfs.nat import NetworkAddressTranslator
+from repro.net.packet import Packet
+from repro.sim import Simulator
+from repro.traffic import http_exchange
+
+from common import format_table, publish, run_once
+
+FLOW_COUNTS = [250, 500, 1000]
+
+NF_FACTORIES = [
+    ("iptables", NetworkAddressTranslator),
+    ("PRADS", AssetMonitor),
+    ("Bro", IntrusionDetector),
+]
+
+
+def populate(sim: Simulator, nf, n_flows: int) -> None:
+    """Create per-flow state for ``n_flows`` distinct connections."""
+    for index in range(n_flows):
+        client = "10.%d.%d.%d" % (index // 62500, (index // 250) % 250 + 1,
+                                  index % 250 + 1)
+        if isinstance(nf, IntrusionDetector):
+            flow = http_exchange(client, 20000 + index % 40000, "203.0.113.5",
+                                 reply_body="B" * 600, close=False)
+            for blueprint in flow.packets:
+                nf.receive(blueprint.build(0.0))
+        else:
+            five_tuple = FiveTuple(client, 20000 + index % 40000,
+                                   "203.0.113.5", 80)
+            nf.receive(Packet(five_tuple, tcp_flags=("SYN",)))
+            nf.receive(Packet(five_tuple, tcp_flags=("ACK",), payload="pp"))
+    sim.run()
+
+
+def measure(nf_factory, n_flows: int):
+    sim = Simulator()
+    src = nf_factory(sim, "src")
+    dst = nf_factory(sim, "dst")
+    populate(sim, src, n_flows)
+    client_src = NFClient(sim, src)
+    client_dst = NFClient(sim, dst)
+
+    start = sim.now
+    got = client_src.get_perflow(Filter.wildcard())
+    sim.run()
+    get_ms = sim.now - start
+    chunks = got.value
+    assert len(chunks) == n_flows
+
+    start = sim.now
+    client_dst.put_perflow(chunks)
+    sim.run()
+    put_ms = sim.now - start
+    return get_ms, put_ms
+
+
+def run_figure12():
+    results = {}
+    for nf_name, factory in NF_FACTORIES:
+        for n_flows in FLOW_COUNTS:
+            results[(nf_name, n_flows)] = measure(factory, n_flows)
+    return results
+
+
+def test_fig12_southbound_efficiency(benchmark):
+    results = run_once(benchmark, run_figure12)
+
+    for panel, index in (("getPerflow", 0), ("putPerflow", 1)):
+        rows = [
+            [nf_name] + [
+                "%.0f" % results[(nf_name, n)][index] for n in FLOW_COUNTS
+            ]
+            for nf_name, _f in NF_FACTORIES
+        ]
+        publish(
+            "fig12_%s" % panel.lower(),
+            format_table(
+                "Figure 12 — %s time (simulated ms)" % panel,
+                ["NF"] + ["%d flows" % n for n in FLOW_COUNTS],
+                rows,
+            ),
+        )
+
+    for nf_name, _factory in NF_FACTORIES:
+        get_250, put_250 = results[(nf_name, 250)]
+        get_1000, put_1000 = results[(nf_name, 1000)]
+        # Linear-ish growth in chunk count.
+        assert 2.5 < get_1000 / get_250 < 5.5
+        # Import substantially faster than export ("at least 2x" in the
+        # paper's prose; its own §8.1.1 numbers give 89/54 = 1.65x).
+        assert put_1000 < get_1000 / 1.5
+    # Ordering across NFs: Bro >> PRADS > iptables.
+    assert results[("Bro", 1000)][0] > 3 * results[("PRADS", 1000)][0]
+    assert results[("PRADS", 1000)][0] > results[("iptables", 1000)][0]

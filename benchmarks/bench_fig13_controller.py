@@ -1,0 +1,100 @@
+"""Figure 13: controller scalability (§8.3).
+
+N simultaneous loss-free moves run between N disjoint pairs of "dummy"
+NFs (202-byte chunks, negligible NF-side cost, §8.3's setup) while each
+pair's source receives a steady packet stream that keeps generating
+events. All operations share one controller, whose serialized message
+handling is the bottleneck: the paper observes the average time per
+move growing linearly with both the number of simultaneous operations
+and the number of flows per move.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowspace import Filter
+from repro.harness import Deployment
+from repro.net.packet import Packet
+from repro.nfs.dummy import DummyNF
+
+from common import format_table, publish, run_once
+
+CONCURRENCY = [1, 4, 8, 12, 16, 20]
+FLOWS_PER_MOVE = [1000, 2000, 3000]
+EVENT_RATE_PPS_PER_PAIR = 200.0
+EVENT_STREAM_MS = 2000.0
+
+
+def run_concurrent_moves(n_moves: int, flows_per_move: int) -> float:
+    dep = Deployment()
+    operations = []
+    for pair in range(n_moves):
+        src = DummyNF(dep.sim, "src%d" % pair)
+        dst = DummyNF(dep.sim, "dst%d" % pair)
+        dep.add_nf(src)
+        dep.add_nf(dst)
+        subnet = "172.%d.0.0/16" % (16 + pair)
+        pair_filter = Filter({"nw_src": subnet}, symmetric=True)
+        dep.set_default_route(src.name, pair_filter)
+        tuples = src.preload(flows_per_move, base_ip="172.%d.0.0" % (16 + pair))
+        # A steady trickle of matching packets generates events during
+        # the move (the dummy NFs "infinitely generate events").
+        interval = 1000.0 / EVENT_RATE_PPS_PER_PAIR
+        n_packets = int(EVENT_STREAM_MS / interval)
+        for index in range(n_packets):
+            dep.sim.schedule(
+                index * interval,
+                lambda t=tuples[index % len(tuples)]: dep.inject(
+                    Packet(t, tcp_flags=("ACK",), created_at=dep.sim.now)
+                ),
+            )
+        operations.append((src.name, dst.name, pair_filter))
+
+    moves = []
+
+    def kickoff() -> None:
+        for src_name, dst_name, pair_filter in operations:
+            moves.append(
+                dep.controller.move(
+                    src_name, dst_name, pair_filter,
+                    scope="per", guarantee="lf",
+                )
+            )
+
+    dep.sim.schedule(100.0, kickoff)
+    dep.sim.run()
+    durations = [move.done.value.duration_ms for move in moves]
+    return sum(durations) / len(durations)
+
+
+def run_figure13():
+    results = {}
+    for flows in FLOWS_PER_MOVE:
+        for n_moves in CONCURRENCY:
+            results[(flows, n_moves)] = run_concurrent_moves(n_moves, flows)
+    return results
+
+
+def test_fig13_controller_scalability(benchmark):
+    results = run_once(benchmark, run_figure13)
+
+    rows = [
+        [n] + ["%.0f" % results[(flows, n)] for flows in FLOWS_PER_MOVE]
+        for n in CONCURRENCY
+    ]
+    publish(
+        "fig13_controller",
+        format_table(
+            "Figure 13 — average time per loss-free move (simulated ms)",
+            ["simultaneous moves"] + ["%d flows" % f for f in FLOWS_PER_MOVE],
+            rows,
+        ),
+    )
+
+    for flows in FLOWS_PER_MOVE:
+        # Average per-move time grows with concurrency (shared controller).
+        assert results[(flows, CONCURRENCY[-1])] > 1.5 * results[(flows, 1)]
+    for n in CONCURRENCY:
+        # ...and with per-move state volume.
+        assert results[(3000, n)] > results[(1000, n)]

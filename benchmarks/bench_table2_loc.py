@@ -1,0 +1,103 @@
+"""Table 2: NF code added to support the southbound API (§8.2.2).
+
+The paper counts the lines added to each NF (serialization handlers,
+get/put/del hooks, event calls) and finds at most a 9.8 % increase.
+The reproduction's analogue: for each NF package, count the lines
+implementing the southbound contract (state key enumeration, chunk
+export/import/merge, serialization ``to_dict``/``from_dict`` pairs)
+versus the NF's total size, by static analysis of this repository.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+import pytest
+
+import repro.nfs.ids as ids_pkg
+import repro.nfs.monitor as monitor_pkg
+import repro.nfs.nat as nat_pkg
+import repro.nfs.proxy as proxy_pkg
+
+from common import format_table, publish, run_once
+
+#: Method/function names that exist only to support OpenNF's southbound
+#: API (the prototype's per-NF additions).
+SOUTHBOUND_HOOKS = {
+    "state_keys",
+    "export_chunk",
+    "import_chunk",
+    "delete_by_flowid",
+    "relevant_fields",
+    "to_dict",
+    "from_dict",
+    "merge_from",
+    "flowid",
+    "chunk_size_bytes",
+    "state_size_bytes",
+    "clients_being_served",
+}
+
+PACKAGES = [
+    ("Bro IDS", ids_pkg),
+    ("PRADS asset monitor", monitor_pkg),
+    ("Squid caching proxy", proxy_pkg),
+    ("iptables", nat_pkg),
+]
+
+
+def _package_files(package):
+    directory = os.path.dirname(package.__file__)
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".py"):
+            yield os.path.join(directory, name)
+
+
+def count_loc(package):
+    """(southbound_loc, total_loc) for one NF package."""
+    southbound = 0
+    total = 0
+    for path in _package_files(package):
+        with open(path) as handle:
+            source = handle.read()
+        lines = source.splitlines()
+        total += sum(1 for line in lines if line.strip())
+        tree = ast.parse(source)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name in SOUTHBOUND_HOOKS:
+                    southbound += node.end_lineno - node.lineno + 1
+    return southbound, total
+
+
+def run_table2():
+    return {name: count_loc(pkg) for name, pkg in PACKAGES}
+
+
+def test_table2_nf_modifications(benchmark):
+    results = run_once(benchmark, run_table2)
+
+    rows = []
+    for name, _pkg in PACKAGES:
+        added, total = results[name]
+        base = total - added
+        rows.append(
+            [name, added, total, "%.1f%%" % (100.0 * added / base)]
+        )
+    publish(
+        "table2_loc",
+        format_table(
+            "Table 2 — NF code supporting the southbound API (this repo)",
+            ["NF", "southbound LOC", "total LOC", "increase over base"],
+            rows,
+        ),
+    )
+
+    for name, _pkg in PACKAGES:
+        added, total = results[name]
+        assert added > 0, "%s exposes no southbound hooks?" % name
+        # The southbound surface is a modest fraction of each NF — the
+        # paper's qualitative claim (its worst case was 9.8 %; ours is
+        # looser because these NFs are much smaller than Bro/Squid).
+        assert added / total < 0.5

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Tutorial: adding your own NF to the OpenNF control plane.
+
+The paper's southbound API was designed so a new NF needs only a small,
+mechanical set of handlers (§4.2, Table 2). This example builds a toy
+"flow meter" NF from scratch — per-flow byte counters, a per-host
+multi-flow rollup, and a global total — then:
+
+1. validates it against the southbound contract with the bundled
+   conformance checker, and
+2. performs a loss-free mid-traffic move of its state, exactly like the
+   bundled NFs.
+
+Run:  python examples/custom_nf.py
+"""
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import Deployment, Filter, FlowId, NetworkFunction, Scope, StateChunk
+from repro.nf.conformance import check_nf_conformance
+from repro.nf.costs import NFCostModel
+from repro.traffic import TraceConfig, TraceReplayer, build_university_cloud_trace
+
+
+class FlowMeter(NetworkFunction):
+    """A minimal but fully conformant NF: traffic accounting."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name, NFCostModel(proc_ms=0.02))
+        self.flows: Dict[FlowId, Dict[str, Any]] = {}     # per-flow
+        self.hosts: Dict[FlowId, Dict[str, Any]] = {}     # multi-flow
+        self.total_bytes = 0                              # all-flows
+
+    # -- packet processing -------------------------------------------------
+    def process_packet(self, packet) -> None:
+        flow_id = FlowId.for_flow(packet.five_tuple.canonical())
+        record = self.flows.setdefault(flow_id, {"bytes": 0, "packets": 0})
+        record["bytes"] += packet.size_bytes
+        record["packets"] += 1
+        host_id = FlowId.for_host(packet.five_tuple.src_ip)
+        host = self.hosts.setdefault(host_id, {"bytes": 0})
+        host["bytes"] += packet.size_bytes
+        self.total_bytes += packet.size_bytes
+
+    # -- the five southbound handlers ---------------------------------------
+    def relevant_fields(self, scope: Scope) -> Tuple[str, ...]:
+        if scope is Scope.MULTIFLOW:
+            return ("nw_src", "nw_dst")
+        return self.DEFAULT_RELEVANT_FIELDS
+
+    def state_keys(self, scope: Scope, flt: Filter) -> List[Any]:
+        if scope is Scope.ALLFLOWS:
+            return ["total"]
+        store = self.flows if scope is Scope.PERFLOW else self.hosts
+        relevant = self.relevant_fields(scope)
+        return [fid for fid in store if flt.matches_flowid(fid, relevant)]
+
+    def export_chunk(self, scope: Scope, key: Any) -> Optional[StateChunk]:
+        if scope is Scope.ALLFLOWS:
+            return StateChunk(scope, None, {"total_bytes": self.total_bytes})
+        store = self.flows if scope is Scope.PERFLOW else self.hosts
+        record = store.get(key)
+        if record is None:
+            return None
+        return StateChunk(scope, key, dict(record))
+
+    def import_chunk(self, chunk: StateChunk) -> None:
+        if chunk.scope is Scope.ALLFLOWS:
+            self.total_bytes += chunk.data["total_bytes"]
+        elif chunk.scope is Scope.PERFLOW:
+            self.flows[chunk.flowid] = dict(chunk.data)      # replace
+        else:
+            existing = self.hosts.get(chunk.flowid)
+            if existing is None:
+                self.hosts[chunk.flowid] = dict(chunk.data)
+            else:  # merge: max is idempotent under re-copying
+                existing["bytes"] = max(existing["bytes"],
+                                        chunk.data["bytes"])
+
+    def delete_by_flowid(self, scope: Scope, flowid: FlowId) -> int:
+        store = self.flows if scope is Scope.PERFLOW else self.hosts
+        return 1 if store.pop(flowid, None) is not None else 0
+
+
+def main() -> None:
+    # 1. Conformance: does FlowMeter honour the southbound contract?
+    report = check_nf_conformance(lambda sim, name: FlowMeter(sim, name))
+    print("Conformance: %d checks, %s"
+          % (report.checks_run, "all passed" if report.ok else report.failures))
+    assert report.ok
+
+    # 2. Use it like any bundled NF: replay traffic, move it mid-stream.
+    dep = Deployment()
+    src = FlowMeter(dep.sim, "meter1")
+    dst = FlowMeter(dep.sim, "meter2")
+    dep.add_nf(src)
+    dep.add_nf(dst)
+    dep.set_default_route("meter1")
+
+    trace = build_university_cloud_trace(TraceConfig(seed=2, n_flows=100))
+    replayer = TraceReplayer(dep.sim, dep.inject, trace.packets, 2500.0)
+    replayer.start()
+    flt = Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)
+    dep.sim.schedule(
+        replayer.duration_ms / 2,
+        lambda: dep.controller.move("meter1", "meter2", flt,
+                                    scope="per+multi", guarantee="lf"),
+    )
+    dep.sim.run()
+
+    total_injected = sum(p.size_bytes for p in replayer.injected)
+    total_metered = src.total_bytes + dst.total_bytes
+    print("Bytes injected:  %d" % total_injected)
+    print("Bytes metered:   %d (across both instances, loss-free)"
+          % total_metered)
+    print("meter2 now holds %d flow records" % len(dst.flows))
+    assert total_metered == total_injected  # nothing lost in the move
+
+
+if __name__ == "__main__":
+    main()

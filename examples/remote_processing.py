@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Selectively invoking advanced remote processing (§2.1, §6).
+
+A resource-constrained local IDS only fingerprints browsers; a powerful
+cloud IDS additionally md5-checks HTTP reply bodies against a malware
+corpus. When the local instance sees a request from an outdated browser,
+the flow is escalated: its per-flow state moves **loss-free** to the
+cloud instance, so every byte of the (still in flight) HTTP reply is
+included in the md5 — and the malware is caught in the cloud.
+
+Run:  python examples/remote_processing.py
+"""
+
+from repro import Deployment, IntrusionDetector, SignatureDB
+from repro.apps import SelectiveRemoteProcessing
+from repro.traffic import (
+    MALWARE_BODY,
+    MODERN_AGENT,
+    OUTDATED_AGENT,
+    TraceReplayer,
+    http_exchange,
+    malware_signatures,
+)
+
+
+def main() -> None:
+    dep = Deployment()
+    signatures = SignatureDB(malware_signatures())
+    local = IntrusionDetector(dep.sim, "local", signatures,
+                              detect_malware=False)  # limited local box
+    cloud = IntrusionDetector(dep.sim, "cloud", signatures,
+                              detect_malware=True)
+    dep.add_nf(local)
+    dep.add_nf(cloud)
+    dep.set_default_route("local")
+
+    app = SelectiveRemoteProcessing(dep.controller, "local", "cloud")
+
+    # Two HTTP sessions: a modern browser fetching a benign page, and an
+    # outdated browser fetching malware.
+    benign = http_exchange("10.0.1.2", 1111, "203.0.113.5",
+                           user_agent=MODERN_AGENT, reply_body="all good",
+                           close=False)
+    infected = http_exchange("10.0.1.3", 2222, "203.0.113.6",
+                             user_agent=OUTDATED_AGENT,
+                             reply_body=MALWARE_BODY, reply_chunk=120,
+                             close=False)
+    packets = []
+    cursors = [0, 0]
+    flows = [benign, infected]
+    while any(cursors[i] < len(flows[i].packets) for i in range(2)):
+        for i in range(2):
+            if cursors[i] < len(flows[i].packets):
+                packets.append(flows[i].packets[cursors[i]])
+                cursors[i] += 1
+
+    replayer = TraceReplayer(dep.sim, dep.inject, packets, rate_pps=100.0)
+    replayer.start()
+    dep.sim.run(until=replayer.duration_ms + 2000.0)
+    app.stop()
+    dep.sim.run()
+
+    print("Escalations to the cloud: %d" % app.escalation_count)
+    print("local alerts: %s" % [(a.kind, a.subject) for a in local.alerts])
+    print("cloud alerts: %s" % [(a.kind, a.subject) for a in cloud.alerts])
+
+    assert app.escalation_count == 1, "only the outdated-browser flow moves"
+    assert len(cloud.alerts_of("malware")) == 1, (
+        "the cloud IDS must see the complete reply (loss-free move)"
+    )
+    print()
+    print("The infected flow was escalated mid-download and the malware "
+          "caught in the cloud; the benign flow stayed local.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Control applications built on the northbound API (§6)."""
+
+from repro.apps.failover import FastFailureRecovery
+from repro.apps.loadbalancer import LoadBalancedMonitoring
+from repro.apps.remoteproc import SelectiveRemoteProcessing
+from repro.apps.upgrade import RollingUpgrade
+
+__all__ = [
+    "FastFailureRecovery",
+    "LoadBalancedMonitoring",
+    "RollingUpgrade",
+    "SelectiveRemoteProcessing",
+]

@@ -1,0 +1,127 @@
+"""Fast failure recovery (Figure 9 of the paper).
+
+Maintains a hot standby for each primary NF with an *eventually
+consistent* copy of its per-flow and multi-flow state. Rather than
+re-copying on every packet, the application subscribes (``notify``) to
+the packets whose state updates matter for the detections — TCP SYN and
+RST packets, and HTTP requests from local clients — and copies the
+affected flow's state when one is processed. On failure, forwarding is
+flipped to the standby.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.flowspace.filter import Filter
+from repro.net.flowtable import MID_PRIORITY
+from repro.nf.events import PacketEvent
+from repro.sim.core import Event
+
+
+class FastFailureRecovery:
+    """The Figure 9 control application."""
+
+    def __init__(
+        self,
+        controller,
+        local_prefix: str = "10.0.0.0/8",
+        health_poll_ms: float = 100.0,
+    ) -> None:
+        self.controller = controller
+        self.sim = controller.sim
+        self.local_prefix = local_prefix
+        self.health_poll_ms = health_poll_ms
+        #: primary name -> standby name
+        self.standbys: Dict[str, str] = {}
+        self.updates_triggered = 0
+        self.recoveries = 0
+        self._watching = False
+        self._stopped = False
+        self._recovered: set = set()
+
+    def init_standby(self, norm: Any, stby: Any, warm_start: bool = True) -> Event:
+        """Register ``stby`` for ``norm`` and subscribe to key packets."""
+        norm_name = self.controller.client(norm).name
+        stby_name = self.controller.client(stby).name
+        self.standbys[norm_name] = stby_name
+        done = self.sim.event("standby-ready")
+
+        def run():
+            if warm_start:
+                warm = self.controller.copy(
+                    norm_name, stby_name, Filter.wildcard(), scope="per+multi"
+                )
+                yield warm.done
+            # notify(): TCP SYNs, RSTs, and local-client HTTP requests.
+            self.controller.notify(
+                Filter({"nw_proto": 6, "tcp_flags": "SYN"}),
+                norm_name,
+                True,
+                self._update_standby,
+            )
+            self.controller.notify(
+                Filter({"nw_proto": 6, "tcp_flags": "RST"}),
+                norm_name,
+                True,
+                self._update_standby,
+            )
+            self.controller.notify(
+                Filter({"nw_src": self.local_prefix, "nw_proto": 6, "tp_dst": 80}),
+                norm_name,
+                True,
+                self._update_standby,
+            )
+            done.trigger()
+
+        self.sim.spawn(run(), name="init-standby")
+        return done
+
+    def _update_standby(self, event: PacketEvent) -> None:
+        """Figure 9's ``updateStandby``: copy the event flow's state."""
+        norm_name = event.nf_name
+        stby_name = self.standbys.get(norm_name)
+        if stby_name is None:
+            return
+        self.updates_triggered += 1
+        flow_filter = Filter.for_flow(event.packet.five_tuple, symmetric=True)
+        self.controller.copy(norm_name, stby_name, flow_filter, scope="per")
+        # Keep the host-granularity counters fresh as well.
+        host_filter = Filter(
+            {"nw_src": event.packet.five_tuple.src_ip}, symmetric=True
+        )
+        self.controller.copy(norm_name, stby_name, host_filter, scope="multi")
+
+    def watch(self) -> None:
+        """Start automatic failure detection: poll each primary's health
+        and fail over the moment it dies (a controller-side liveness
+        probe standing in for the prototype's monitoring channel)."""
+        if self._watching:
+            return
+        self._watching = True
+        self.sim.spawn(self._health_loop(), name="failover-watch")
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _health_loop(self):
+        while not self._stopped:
+            for norm_name in list(self.standbys):
+                if norm_name in self._recovered:
+                    continue
+                nf = self.controller.client(norm_name).nf
+                if nf.failed:
+                    self._recovered.add(norm_name)
+                    self.recover(norm_name)
+            yield self.health_poll_ms
+
+    def recover(self, norm: Any, flt: Optional[Filter] = None) -> Event:
+        """Fail over: reroute ``norm``'s traffic to its standby."""
+        norm_name = self.controller.client(norm).name
+        stby_name = self.standbys[norm_name]
+        self.recoveries += 1
+        return self.controller.switch_client.install(
+            flt or Filter.wildcard(),
+            [self.controller.port_of(stby_name)],
+            MID_PRIORITY,
+        )

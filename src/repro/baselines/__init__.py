@@ -1,0 +1,17 @@
+"""Comparison baselines: Split/Merge, VM replication, reroute-only (§2.2)."""
+
+from repro.baselines.rerouteonly import RerouteOnlyScaler
+from repro.baselines.splitmerge import SplitMergeMigrate
+from repro.baselines.vmreplication import (
+    SNAPSHOT_BANDWIDTH_BYTES_PER_MS,
+    VMReplicator,
+    full_state_size,
+)
+
+__all__ = [
+    "RerouteOnlyScaler",
+    "SNAPSHOT_BANDWIDTH_BYTES_PER_MS",
+    "SplitMergeMigrate",
+    "VMReplicator",
+    "full_state_size",
+]

@@ -1,0 +1,135 @@
+"""Split/Merge-style ``migrate`` (Rajagopalan et al., NSDI'13).
+
+The comparison baseline of §2.2 and Figure 5 of the OpenNF paper. Its
+``migrate(f)`` reroutes a flow and moves corresponding state, but:
+
+* packets in flight to (or queued at) the source when migration starts
+  are **dropped with no record** — violating the second half of
+  loss-freedom ("all packets the switch receives should be processed");
+* traffic arriving at the switch during migration is halted and
+  buffered at the orchestrator, then flushed to the destination —
+  racing the forwarding-table update: a packet (Figure 5's ``p_{i+2}``)
+  can reach the controller after the flush but before the new rule is
+  active, and is then forwarded to the destination *after* packets the
+  switch already sent there directly — an order violation.
+
+Both defects are reproduced faithfully so the property tests can
+demonstrate them under adversarial timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.flowspace.filter import Filter
+from repro.net.flowtable import HIGH_PRIORITY, MID_PRIORITY
+from repro.net.packet import Packet
+from repro.net.switch import CONTROLLER_PORT
+from repro.nf.events import EventAction
+from repro.nf.state import Scope
+from repro.controller.reports import OperationReport
+from repro.sim.process import AllOf
+
+
+class SplitMergeMigrate:
+    """One in-flight Split/Merge migration; ``done`` fires with a report."""
+
+    def __init__(
+        self,
+        controller,
+        src: Any,
+        dst: Any,
+        flt: Filter,
+        scopes: Tuple[Scope, ...] = (Scope.PERFLOW,),
+        drain_grace_ms: float = 30.0,
+    ) -> None:
+        self.controller = controller
+        self.sim = controller.sim
+        self.src = controller.client(src)
+        self.dst = controller.client(dst)
+        self.flt = flt
+        self.scopes = scopes
+        self.drain_grace_ms = drain_grace_ms
+        self.dst_port = controller.port_of(self.dst.name)
+        self.report = OperationReport(
+            kind="splitmerge-migrate",
+            guarantee="none",
+            filter_repr=repr(flt),
+            src=self.src.name,
+            dst=self.dst.name,
+        )
+        self.done = self.sim.event("splitmerge-done")
+        self._halted_packets: List[Packet] = []
+        self._halting = True
+        self._drops_at_start = 0
+        self._interest = controller.add_packet_interest(flt, self._on_packet_in)
+        self.process = self.sim.spawn(self._run(), name="splitmerge-op")
+
+    def _on_packet_in(self, packet: Packet) -> None:
+        if self._halting:
+            # Halted at the orchestrator while state moves.
+            self._halted_packets.append(packet)
+        else:
+            # Figure 5's race: a late packet is forwarded to dstInst even
+            # though the switch may already be sending newer packets there.
+            self.controller.switch_client.packet_out(packet, self.dst_port)
+
+    def _run(self):
+        self.report.started_at = self.sim.now
+        self._drops_at_start = self.src.nf.packets_dropped_silent
+
+        # 1+2 concurrently: the Split/Merge library inside srcInst starts
+        # dropping matching packets on dequeue the moment migrate() begins,
+        # while the orchestrator halts traffic at the switch. Packets
+        # in flight (or queued at srcInst) until the halt rule applies are
+        # dropped with no record — the loss-freedom violation of §5.1.1.
+        drop_armed = self.src.enable_events(
+            self.flt, EventAction.DROP, silent=True
+        )
+        halted = self.controller.switch_client.install(
+            self.flt, [CONTROLLER_PORT], MID_PRIORITY
+        )
+        yield AllOf([drop_armed, halted])
+        self.report.mark_phase("halted", self.sim.now)
+
+        # 3. Move the state.
+        for scope in self.scopes:
+            if scope is Scope.PERFLOW:
+                chunks = yield self.src.get_perflow(self.flt)
+                for chunk in chunks:
+                    self.report.add_chunk(scope.value, chunk.size_bytes)
+                yield self.src.del_perflow([c.flowid for c in chunks])
+                yield self.dst.put_perflow(chunks)
+            elif scope is Scope.MULTIFLOW:
+                chunks = yield self.src.get_multiflow(self.flt)
+                for chunk in chunks:
+                    self.report.add_chunk(scope.value, chunk.size_bytes)
+                yield self.src.del_multiflow([c.flowid for c in chunks])
+                yield self.dst.put_multiflow(chunks)
+        self.report.mark_phase("state-transferred", self.sim.now)
+
+        # 4. Flush the packets buffered at the orchestrator...
+        for packet in self._halted_packets:
+            self.controller.switch_client.packet_out(packet, self.dst_port)
+        self.report.packets_in_events = len(self._halted_packets)
+        for packet in self._halted_packets:
+            self.report.affected_uids.add(packet.uid)
+        self._halted_packets = []
+        self._halting = False
+
+        # 5. ...and race the forwarding update (no synchronization).
+        yield self.controller.switch_client.install(
+            self.flt, [self.dst_port], HIGH_PRIORITY
+        )
+        self.report.mark_phase("rerouted", self.sim.now)
+        self.report.finished_at = self.sim.now
+
+        yield self.drain_grace_ms
+        self.controller.remove_interest(self._interest)
+        yield self.src.disable_events_covered(self.flt)
+        yield self.controller.switch_client.remove(self.flt, MID_PRIORITY)
+        self.report.packets_dropped = (
+            self.src.nf.packets_dropped_silent - self._drops_at_start
+        )
+        self.done.trigger(self.report)
+        return self.report

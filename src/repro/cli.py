@@ -1,0 +1,139 @@
+"""Command-line interface: quick demos and safety validation.
+
+Usage::
+
+    python -m repro.cli demo-move --guarantee op --flows 200 --rate 2500
+    python -m repro.cli validate --seeds 5
+    python -m repro.cli version
+
+``demo-move`` runs one instrumented move between two PRADS-like
+monitors and prints the operation report, phases, and property-check
+verdicts. ``validate`` sweeps seeds and asserts the §5.1 guarantees
+hold (and that the no-guarantee mode demonstrably violates them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.harness import run_move_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OpenNF reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo-move", help="run one instrumented move")
+    demo.add_argument("--guarantee", default="loss-free",
+                      choices=["ng", "loss-free", "op", "op-strong"],
+                      help="move safety level")
+    demo.add_argument("--flows", type=int, default=200)
+    demo.add_argument("--rate", type=float, default=2500.0,
+                      help="replay rate in packets/second")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--no-parallel", action="store_true",
+                      help="disable the parallelizing optimization")
+    demo.add_argument("--early-release", action="store_true")
+    demo.add_argument("--compress", action="store_true",
+                      help="zlib-compress state chunks (§8.3)")
+    demo.add_argument("--peer-to-peer", action="store_true",
+                      help="stream chunks NF-to-NF (footnote 10)")
+
+    validate = sub.add_parser(
+        "validate", help="check the §5.1 guarantees over several seeds"
+    )
+    validate.add_argument("--seeds", type=int, default=3)
+    validate.add_argument("--flows", type=int, default=60)
+    validate.add_argument("--rate", type=float, default=5000.0)
+
+    sub.add_parser("version", help="print the package version")
+    return parser
+
+
+def _cmd_demo_move(args: argparse.Namespace) -> int:
+    from repro.harness import LOCAL_NET_FILTER
+
+    operation = None
+    if args.compress or args.peer_to_peer:
+        def operation(dep):
+            return dep.controller.move(
+                "inst1", "inst2", LOCAL_NET_FILTER,
+                guarantee=args.guarantee,
+                parallel=not args.no_parallel,
+                early_release=args.early_release,
+                compress=args.compress,
+                peer_to_peer=args.peer_to_peer,
+            )
+
+    result = run_move_experiment(
+        guarantee=args.guarantee,
+        parallel=not args.no_parallel,
+        early_release=args.early_release,
+        n_flows=args.flows,
+        rate_pps=args.rate,
+        seed=args.seed,
+        operation=operation,
+    )
+    report = result.report
+    print(report.summary())
+    for phase, offset in sorted(report.phases.items(), key=lambda kv: kv[1]):
+        print("  %-22s +%.1f ms" % (phase, offset))
+    print("added latency: avg %.1f ms, max %.1f ms over %d affected packets"
+          % (result.latency.average_added_ms, result.latency.max_added_ms,
+             result.latency.affected_count))
+    print("loss-free: %s   order-preserving: %s"
+          % ("yes" if result.loss_free else "NO",
+             "yes" if result.order_preserving else "NO"))
+    if report.aborted:
+        print("ABORTED: %s" % report.aborted)
+        return 1
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    for seed in range(args.seeds):
+        lf = run_move_experiment("lf", n_flows=args.flows,
+                                 rate_pps=args.rate, seed=seed)
+        op = run_move_experiment("op", n_flows=args.flows,
+                                 rate_pps=args.rate, seed=seed)
+        ng = run_move_experiment("ng", n_flows=args.flows,
+                                 rate_pps=args.rate, seed=seed)
+        checks = [
+            ("LF move loss-free", lf.loss_free),
+            ("OP move loss-free", op.loss_free),
+            ("OP move order-preserving", op.order_preserving),
+            ("NG move drops packets", ng.report.packets_dropped > 0),
+        ]
+        for label, ok in checks:
+            status = "ok" if ok else "FAIL"
+            print("seed %d: %-28s %s" % (seed, label, status))
+            if not ok:
+                failures += 1
+    if failures:
+        print("%d check(s) FAILED" % failures)
+        return 1
+    print("all guarantees hold across %d seeds" % args.seeds)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "version":
+        print("opennf-repro %s" % __version__)
+        return 0
+    if args.command == "demo-move":
+        return _cmd_demo_move(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

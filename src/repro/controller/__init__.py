@@ -1,0 +1,21 @@
+"""The OpenNF controller: northbound API and its operations."""
+
+from repro.controller.controller import OpenNFController
+from repro.controller.copy import CopyOperation
+from repro.controller.forwarding import SwitchClient
+from repro.controller.journal import Journal, JournalEntry
+from repro.controller.move import Guarantee, MoveOperation
+from repro.controller.reports import OperationReport
+from repro.controller.share import ShareOperation
+
+__all__ = [
+    "CopyOperation",
+    "Guarantee",
+    "Journal",
+    "JournalEntry",
+    "MoveOperation",
+    "OpenNFController",
+    "OperationReport",
+    "ShareOperation",
+    "SwitchClient",
+]

@@ -1,0 +1,399 @@
+"""The OpenNF controller.
+
+Encapsulates distributed state control (§3): it owns the southbound
+clients for every registered NF, the switch client, and the dispatch of
+NF events and switch packet-ins to whichever northbound operation is
+interested in them. The northbound API (§5) is exposed as methods:
+
+* :meth:`move` — transfer state *and* input for a set of flows, with a
+  choice of guarantee (none / loss-free / loss-free+order-preserving)
+  and the parallelizing / early-release optimizations;
+* :meth:`copy` — clone state between instances (eventual consistency is
+  built by re-copying, §5.2.1);
+* :meth:`share` — keep state strongly or strictly consistent across
+  instances by serializing updates through the controller (§5.2.2);
+* :meth:`notify` — subscribe a control application to state-update hints.
+
+Inbound messages — NF events, switch packet-ins, and streamed state
+chunks — all pass through one serialized inbox costing ``msg_proc_ms``
+each, modeling the prototype's single-threaded message handling: §8.3's
+profile found controller "threads are busy reading from sockets most of
+the time", and this queue is why heavy event traffic stretches
+operations and why Figure 13's per-move time grows with concurrency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.flowspace.filter import Filter
+from repro.net.channel import ControlChannel
+from repro.net.packet import Packet
+from repro.net.switch import Switch
+from repro.nf.base import NetworkFunction
+from repro.nf.events import PacketEvent
+from repro.nf.southbound import NFClient
+from repro.nf.state import normalize_scope
+from repro.controller.forwarding import SwitchClient
+from repro.controller.pump import ChunkPump
+from repro.sim.core import Simulator
+
+_interest_ids = itertools.count(1)
+
+
+class _Interest:
+    __slots__ = ("handle", "nf_name", "filter", "callback")
+
+    def __init__(self, nf_name: Optional[str], flt: Optional[Filter], callback):
+        self.handle = next(_interest_ids)
+        self.nf_name = nf_name
+        self.filter = flt
+        self.callback = callback
+
+    def matches_event(self, event: PacketEvent) -> bool:
+        if self.nf_name is not None and self.nf_name != event.nf_name:
+            return False
+        return self.filter is None or self.filter.matches_packet(event.packet)
+
+    def matches_packet(self, packet: Packet) -> bool:
+        return self.filter is None or self.filter.matches_packet(packet)
+
+
+class OpenNFController:
+    """Northbound API provider and event/packet-in dispatcher."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: Optional[Switch] = None,
+        msg_proc_ms: float = 0.15,
+        nf_channel_latency_ms: float = 1.0,
+        sw_channel_latency_ms: float = 0.6,
+        nf_channel_bandwidth_bytes_per_ms: float = 125_000.0,
+    ) -> None:
+        self.sim = sim
+        self.msg_proc_ms = msg_proc_ms
+        self.nf_channel_latency_ms = nf_channel_latency_ms
+        self.sw_channel_latency_ms = sw_channel_latency_ms
+        self.nf_channel_bandwidth = nf_channel_bandwidth_bytes_per_ms
+        self.clients: Dict[str, NFClient] = {}
+        self.nf_ports: Dict[str, str] = {}
+        self.switch: Optional[Switch] = None
+        self.switch_client: Optional[SwitchClient] = None
+        if switch is not None:
+            self.attach_switch(switch)
+        self._event_interests: List[_Interest] = []
+        self._packet_interests: List[_Interest] = []
+        #: Serialized inbound-message handling loop (events, packet-ins,
+        #: streamed chunks), msg_proc_ms per message.
+        self.inbox = ChunkPump(self.sim, msg_proc_ms, self._handle_inbox_item)
+        #: Fallback handler for events no operation claimed (used by apps).
+        self.default_event_handler: Optional[Callable[[PacketEvent], None]] = None
+        self.events_received = 0
+        self.packet_ins_received = 0
+        #: Filters of in-flight move operations, for conflict detection:
+        #: two simultaneous moves over overlapping flow space would race
+        #: on rules and state; the later one is queued until the earlier
+        #: finishes. (handle -> (filter, done event))
+        self._active_moves: Dict[int, Tuple[Filter, Any]] = {}
+        self._move_handle_counter = 0
+        self.moves_queued_for_conflict = 0
+
+    # -------------------------------------------------------------------- wiring
+
+    def attach_switch(self, switch: Switch) -> None:
+        """Connect the controller to its SDN switch."""
+        self.switch = switch
+        self.switch_client = SwitchClient(
+            self.sim,
+            switch,
+            to_switch=ControlChannel(
+                self.sim, name="ctrl->sw", latency_ms=self.sw_channel_latency_ms
+            ),
+            from_switch=ControlChannel(
+                self.sim, name="sw->ctrl", latency_ms=self.sw_channel_latency_ms
+            ),
+        )
+        switch.set_packet_in_handler(self.handle_packet_in)
+
+    def register_nf(self, nf: NetworkFunction, port: Optional[str] = None) -> NFClient:
+        """Create the southbound client for ``nf`` and wire its event path.
+
+        ``port`` names the switch port that reaches this instance (needed
+        for rule installs and packet-outs targeting it).
+        """
+        client = NFClient(
+            self.sim,
+            nf,
+            to_nf=ControlChannel(
+                self.sim,
+                name="ctrl->%s" % nf.name,
+                latency_ms=self.nf_channel_latency_ms,
+                bandwidth_bytes_per_ms=self.nf_channel_bandwidth,
+            ),
+            from_nf=ControlChannel(
+                self.sim,
+                name="%s->ctrl" % nf.name,
+                latency_ms=self.nf_channel_latency_ms,
+                bandwidth_bytes_per_ms=self.nf_channel_bandwidth,
+            ),
+        )
+        nf.connect_controller(client.from_nf, self.handle_nf_event)
+        self.clients[nf.name] = client
+        self.nf_ports[nf.name] = port if port is not None else nf.name
+        return client
+
+    def client(self, nf: Any) -> NFClient:
+        """Resolve an NF instance, client, or name to its client."""
+        if isinstance(nf, NFClient):
+            return nf
+        name = nf.name if isinstance(nf, NetworkFunction) else nf
+        return self.clients[name]
+
+    def port_of(self, nf: Any) -> str:
+        """Switch port that reaches the given NF."""
+        name = nf if isinstance(nf, str) else nf.name
+        return self.nf_ports[name]
+
+    def instance_at_port(self, port: str) -> Optional[str]:
+        """Inverse of :meth:`port_of`: which NF sits behind ``port``."""
+        for name, nf_port in self.nf_ports.items():
+            if nf_port == port:
+                return name
+        return None
+
+    # ------------------------------------------------------------------ dispatch
+
+    def add_event_interest(
+        self, nf_name: Optional[str], flt: Optional[Filter], callback
+    ) -> int:
+        """Route matching NF events to ``callback``; newest interest wins."""
+        interest = _Interest(nf_name, flt, callback)
+        self._event_interests.append(interest)
+        return interest.handle
+
+    def add_packet_interest(self, flt: Optional[Filter], callback) -> int:
+        """Route matching switch packet-ins to ``callback``."""
+        interest = _Interest(None, flt, callback)
+        self._packet_interests.append(interest)
+        return interest.handle
+
+    def remove_interest(self, handle: int) -> None:
+        self._event_interests = [
+            i for i in self._event_interests if i.handle != handle
+        ]
+        self._packet_interests = [
+            i for i in self._packet_interests if i.handle != handle
+        ]
+
+    def handle_nf_event(self, event: PacketEvent) -> None:
+        """Entry point for events arriving from NFs (already past the channel)."""
+        self.events_received += 1
+        self.inbox.push(("event", event, None))
+
+    def _dispatch_event(self, event: PacketEvent) -> None:
+        for interest in reversed(self._event_interests):
+            if interest.matches_event(event):
+                interest.callback(event)
+                return
+        if self.default_event_handler is not None:
+            self.default_event_handler(event)
+
+    def handle_packet_in(self, packet: Packet) -> None:
+        """Entry point for packet-ins from the switch."""
+        self.packet_ins_received += 1
+        self.inbox.push(("packet-in", packet, None))
+
+    def enqueue_chunk(self, handler: Callable[[Any], None], chunk: Any) -> None:
+        """Route a streamed state chunk through the serialized inbox."""
+        self.inbox.push(("chunk", chunk, handler))
+
+    def inbox_drained(self):
+        """Event firing when everything queued so far has been handled."""
+        return self.inbox.drained()
+
+    def _handle_inbox_item(self, item) -> None:
+        kind, payload, handler = item
+        if kind == "event":
+            self._dispatch_event(payload)
+        elif kind == "packet-in":
+            self._dispatch_packet_in(payload)
+        else:
+            handler(payload)
+
+    def _dispatch_packet_in(self, packet: Packet) -> None:
+        for interest in reversed(self._packet_interests):
+            if interest.matches_packet(packet):
+                interest.callback(packet)
+                return
+
+    # ---------------------------------------------------------------- northbound
+
+    def move(
+        self,
+        src: Any,
+        dst: Any,
+        flt: Filter,
+        scope: Any = "per",
+        guarantee: Any = "loss-free",
+        parallel: bool = True,
+        early_release: bool = False,
+        compress: bool = False,
+        peer_to_peer: bool = False,
+        drain_grace_ms: float = 30.0,
+    ):
+        """``move(srcInst, dstInst, filter, scope, properties)`` (§5.1).
+
+        Returns a :class:`~repro.controller.move.MoveOperation`; its
+        ``done`` event triggers with the operation report.
+        """
+        from repro.controller.move import Guarantee, MoveOperation
+
+        def start() -> MoveOperation:
+            return MoveOperation(
+                controller=self,
+                src=self.client(src),
+                dst=self.client(dst),
+                flt=flt,
+                scopes=normalize_scope(scope),
+                guarantee=Guarantee.parse(guarantee),
+                parallel=parallel,
+                early_release=early_release,
+                compress=compress,
+                peer_to_peer=peer_to_peer,
+                drain_grace_ms=drain_grace_ms,
+            )
+
+        conflicts = [
+            done for (active_filter, done) in self._active_moves.values()
+            if active_filter.intersects(flt)
+        ]
+        if not conflicts:
+            return self._track_move(flt, start())
+        # Overlapping flow space: defer until every conflicting move is
+        # finished, then start. Callers receive a handle with the same
+        # ``done`` interface.
+        self.moves_queued_for_conflict += 1
+        return _DeferredMove(self, flt, conflicts, start)
+
+    def _track_move(self, flt: Filter, operation):
+        self._move_handle_counter += 1
+        handle = self._move_handle_counter
+        self._active_moves[handle] = (flt, operation.done)
+        operation.done.add_callback(
+            lambda _evt: self._active_moves.pop(handle, None)
+        )
+        return operation
+
+    def copy(self, src: Any, dst: Any, flt: Filter, scope: Any = "multi",
+             parallel: bool = True, compress: bool = False):
+        """``copy(srcInst, dstInst, filter, scope)`` (§5.2.1)."""
+        from repro.controller.copy import CopyOperation
+
+        return CopyOperation(
+            controller=self,
+            src=self.client(src),
+            dst=self.client(dst),
+            flt=flt,
+            scopes=normalize_scope(scope),
+            parallel=parallel,
+            compress=compress,
+        )
+
+    def share(
+        self,
+        instances: List[Any],
+        flt: Filter,
+        scope: Any = "multi",
+        consistency: str = "strong",
+        group_by: str = "host",
+    ):
+        """``share(list<inst>, filter, scope, consistency)`` (§5.2.2)."""
+        from repro.controller.share import ShareOperation
+
+        return ShareOperation(
+            controller=self,
+            instances=[self.client(i) for i in instances],
+            flt=flt,
+            scopes=normalize_scope(scope),
+            consistency=consistency,
+            group_by=group_by,
+        )
+
+    def notify(
+        self,
+        flt: Filter,
+        inst: Any,
+        enable: bool,
+        callback: Optional[Callable[[PacketEvent], None]] = None,
+    ):
+        """``notify(filter, inst, enable, callback)`` (§5.2.1).
+
+        With ``enable=True``, asks ``inst`` to raise (and process) events
+        for packets matching ``flt`` and routes them to ``callback``.
+        Returns the interest handle (None when disabling).
+        """
+        from repro.nf.events import EventAction
+
+        client = self.client(inst)
+        if enable:
+            if callback is None:
+                raise ValueError("notify(enable=True) requires a callback")
+            handle = self.add_event_interest(client.name, flt, callback)
+            client.enable_events(flt, EventAction.PROCESS)
+            return handle
+        client.disable_events(flt)
+        return None
+
+
+class _DeferredMove:
+    """A move waiting for conflicting operations to finish.
+
+    Exposes the same ``done`` event (and a ``report`` property once
+    available) as a live :class:`~repro.controller.move.MoveOperation`.
+    """
+
+    def __init__(self, controller, flt, conflicts, start) -> None:
+        self.controller = controller
+        self.filter = flt
+        self.done = controller.sim.event("deferred-move-done")
+        self.operation = None
+        self._start = start
+        remaining = {"count": len(conflicts)}
+
+        def on_conflict_done(_evt) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0:
+                controller.sim.schedule(0.0, self._launch)
+
+        for done in conflicts:
+            done.add_callback(on_conflict_done)
+
+    def _launch(self) -> None:
+        # Another overlapping move may have started while we waited.
+        conflicts = [
+            done for (active_filter, done)
+            in self.controller._active_moves.values()
+            if active_filter.intersects(self.filter)
+        ]
+        if conflicts:
+            remaining = {"count": len(conflicts)}
+
+            def on_conflict_done(_evt) -> None:
+                remaining["count"] -= 1
+                if remaining["count"] == 0:
+                    self.controller.sim.schedule(0.0, self._launch)
+
+            for done in conflicts:
+                done.add_callback(on_conflict_done)
+            return
+        self.operation = self.controller._track_move(self.filter, self._start())
+        self.operation.done.add_callback(
+            lambda evt: self.done.trigger(evt.value)
+            if evt.ok else self.done.fail(evt.exception)
+        )
+
+    @property
+    def report(self):
+        return None if self.operation is None else self.operation.report

@@ -1,0 +1,109 @@
+"""The ``copy`` operation (§5.2.1).
+
+Clones state from one instance to another using the southbound get/put
+calls. No forwarding state changes and no events: the source keeps
+processing traffic and updating its own copy, so copy alone gives no
+consistency — applications achieve *eventual* consistency by re-invoking
+copy (on a timer, or from ``notify`` callbacks), and the NF's
+``put*`` handlers merge the incoming chunks with local state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.flowspace.filter import Filter
+from repro.nf.base import NFCrash
+from repro.nf.state import Scope, StateChunk
+from repro.controller.reports import OperationReport
+from repro.sim.process import AllOf
+
+
+class CopyOperation:
+    """One in-flight ``copy``; ``done`` fires with the OperationReport."""
+
+    def __init__(
+        self,
+        controller,
+        src,
+        dst,
+        flt: Filter,
+        scopes: Tuple[Scope, ...],
+        parallel: bool = True,
+        compress: bool = False,
+    ) -> None:
+        self.controller = controller
+        self.sim = controller.sim
+        self.src = src
+        self.dst = dst
+        self.flt = flt
+        self.scopes = scopes
+        self.parallel = parallel
+        self.compress = compress
+        self.report = OperationReport(
+            kind="copy",
+            guarantee="",
+            filter_repr=repr(flt),
+            src=src.name,
+            dst=dst.name,
+        )
+        self.done = self.sim.event("copy-done")
+        self.process = self.sim.spawn(self._run(), name="copy-op")
+
+    def _scope_calls(self, scope: Scope):
+        if scope is Scope.PERFLOW:
+            return self.src.get_perflow, self.dst.put_perflow
+        if scope is Scope.MULTIFLOW:
+            return self.src.get_multiflow, self.dst.put_multiflow
+
+        def get_allflows(flt, stream=None, lock_per_chunk=False,
+                         lock_silent=False, compress=False):
+            return self.src.get_allflows(stream=stream, compress=compress)
+
+        return get_allflows, self.dst.put_allflows
+
+    def _run(self):
+        self.report.started_at = self.sim.now
+        try:
+            yield from self._run_scopes()
+        except NFCrash as crash:
+            self.report.aborted = str(crash)
+        except Exception as exc:
+            self.report.aborted = "internal error: %r" % (exc,)
+            self.report.finished_at = self.sim.now
+            self.done.fail(exc)
+            raise
+        self.report.finished_at = self.sim.now
+        self.done.trigger(self.report)
+        return self.report
+
+    def _run_scopes(self):
+        for scope in self.scopes:
+            getter, putter = self._scope_calls(scope)
+            if self.parallel:
+                put_events: List[Any] = []
+
+                def handle_chunk(chunk: StateChunk, _putter=putter, _scope=scope):
+                    self.report.add_chunk(
+                        _scope.value, chunk.size_bytes, chunk.wire_size_bytes
+                    )
+                    put_events.append(_putter([chunk]))
+
+                yield getter(
+                    self.flt,
+                    stream=lambda c: self.controller.enqueue_chunk(
+                        handle_chunk, c
+                    ),
+                    compress=self.compress,
+                )
+                yield self.controller.inbox_drained()
+                if put_events:
+                    yield AllOf(put_events)
+            else:
+                chunks = yield getter(self.flt, compress=self.compress)
+                for chunk in chunks:
+                    self.report.add_chunk(
+                        scope.value, chunk.size_bytes, chunk.wire_size_bytes
+                    )
+                yield putter(chunks)
+            self.report.mark_phase("copied-%s" % scope.value, self.sim.now)

@@ -1,0 +1,122 @@
+"""Controller-side switch client.
+
+Wraps the simulated switch behind the control channel, so every
+forwarding-state update and packet-out the controller issues pays the
+controller→switch latency the paper's race conditions depend on
+(Figure 5: the gap between "controller decided" and "rule active" is
+exactly where Split/Merge reorders packets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.flowspace.filter import Filter
+from repro.net.channel import ControlChannel
+from repro.net.packet import Packet
+from repro.net.switch import Switch
+from repro.sim.core import Event, Simulator
+
+_MSG_BYTES = 128
+
+
+class SwitchClient:
+    """RPC stub for the SDN switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: Switch,
+        to_switch: Optional[ControlChannel] = None,
+        from_switch: Optional[ControlChannel] = None,
+    ) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.to_switch = to_switch or ControlChannel(sim, name="ctrl->sw")
+        self.from_switch = from_switch or ControlChannel(sim, name="sw->ctrl")
+
+    def install(
+        self, flt: Filter, actions: Sequence[str], priority: int
+    ) -> Event:
+        """Install a rule; the event fires once the rule is active at the switch."""
+        done = self.sim.event("install@sw")
+
+        def at_switch() -> None:
+            self.switch.install(flt, actions, priority).add_callback(
+                lambda _evt: done.trigger()
+            )
+
+        self.to_switch.send(_MSG_BYTES, at_switch)
+        return done
+
+    def remove(self, flt: Filter, priority: Optional[int] = None) -> Event:
+        """Remove rule(s); the event fires once the removal is active."""
+        done = self.sim.event("remove@sw")
+
+        def at_switch() -> None:
+            self.switch.remove(flt, priority).add_callback(
+                lambda _evt: done.trigger()
+            )
+
+        self.to_switch.send(_MSG_BYTES, at_switch)
+        return done
+
+    def packet_out(self, packet: Packet, port: str) -> None:
+        """OpenFlow packet-out: re-inject ``packet`` towards ``port``.
+
+        Subject first to the control-channel latency, then to the
+        switch's sustained packet-out rate limit.
+        """
+        self.to_switch.send(
+            packet.size_bytes + _MSG_BYTES, self.switch.packet_out, packet, port
+        )
+
+    def packet_out_barrier(self) -> Event:
+        """Fires once all packet-outs issued so far have been emitted.
+
+        The loss-free move uses this between flushing buffered events and
+        updating the route, so evented packets reach the destination
+        before traffic is switched over — and so the packet-out rate cap
+        shows up in the total move time, as in §8.1.1.
+        """
+        done = self.sim.event("pktout-barrier")
+
+        def at_switch() -> None:
+            self.switch.packet_out_barrier().add_callback(
+                lambda _evt: done.trigger()
+            )
+
+        self.to_switch.send(_MSG_BYTES, at_switch)
+        return done
+
+    def read_entries(self, flt: Filter) -> Event:
+        """List rules overlapping ``flt``; fires with
+        ``[(filter, priority, actions), ...]``.
+
+        The strict-consistency share (§5.2.2) uses this to find "all
+        relevant forwarding entries" to redirect to the controller.
+        """
+        done = self.sim.event("entries@sw")
+
+        def at_switch() -> None:
+            entries = [
+                (e.filter, e.priority, e.actions)
+                for e in self.switch.table.entries_overlapping(flt)
+            ]
+            self.from_switch.send(_MSG_BYTES + 64 * len(entries), done.trigger, entries)
+
+        self.to_switch.send(_MSG_BYTES, at_switch)
+        return done
+
+    def read_counters(
+        self, flt: Filter, priority: Optional[int] = None
+    ) -> Event:
+        """Fetch (packets, bytes) for a rule; fires with the tuple."""
+        done = self.sim.event("counters@sw")
+
+        def at_switch() -> None:
+            counters = self.switch.counters(flt, priority)
+            self.from_switch.send(_MSG_BYTES, done.trigger, counters)
+
+        self.to_switch.send(_MSG_BYTES, at_switch)
+        return done

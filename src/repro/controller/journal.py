@@ -1,0 +1,137 @@
+"""Control-plane journal: a structured record of everything that happened.
+
+Debugging a distributed race from print statements is hopeless; the
+journal records controller-side actions as typed entries with simulated
+timestamps, and can render them as an aligned timeline. It is pure
+observability — recording is O(1) appends and changes no behaviour.
+
+Attach one to a controller and it hooks the dispatch paths::
+
+    journal = Journal.attach(dep.controller)
+    ... run experiment ...
+    print(journal.render())
+    journal.entries_of("packet-in")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class JournalEntry:
+    """One recorded control-plane action."""
+
+    time: float
+    kind: str
+    detail: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "detail": self.detail,
+            **self.data,
+        }
+
+
+class Journal:
+    """An append-only, time-ordered log of controller activity."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.entries: List[JournalEntry] = []
+        self._max_entries = 100_000
+
+    # ------------------------------------------------------------------ record
+
+    def record(self, kind: str, detail: str, **data: Any) -> None:
+        """Append one entry (bounded; oldest entries are not evicted —
+        recording stops with a marker if the cap is ever hit)."""
+        if len(self.entries) >= self._max_entries:
+            if (not self.entries
+                    or self.entries[-1].kind != "journal-truncated"):
+                self.entries.append(
+                    JournalEntry(self.sim.now, "journal-truncated", "")
+                )
+            return
+        self.entries.append(JournalEntry(self.sim.now, kind, detail, data))
+
+    # ------------------------------------------------------------------- hooks
+
+    @classmethod
+    def attach(cls, controller) -> "Journal":
+        """Instrument a controller's dispatch paths and northbound API."""
+        journal = cls(controller.sim)
+
+        original_event = controller._dispatch_event
+
+        def journaled_event(event):
+            journal.record(
+                "nf-event",
+                "%s pkt#%d %s" % (event.nf_name, event.packet.uid,
+                                  event.action_taken.value),
+                nf=event.nf_name,
+                uid=event.packet.uid,
+            )
+            original_event(event)
+
+        controller._dispatch_event = journaled_event
+
+        original_packet_in = controller._dispatch_packet_in
+
+        def journaled_packet_in(packet):
+            journal.record("packet-in", "pkt#%d" % packet.uid,
+                           uid=packet.uid)
+            original_packet_in(packet)
+
+        controller._dispatch_packet_in = journaled_packet_in
+
+        for op_name in ("move", "copy", "share"):
+            original = getattr(controller, op_name)
+
+            def journaled_op(*args, _original=original, _name=op_name,
+                             **kwargs):
+                operation = _original(*args, **kwargs)
+                journal.record(
+                    "op-start", _name,
+                    filter=repr(args[2]) if len(args) > 2
+                    else repr(kwargs.get("flt")),
+                )
+                done = getattr(operation, "done", None)
+                if done is not None:
+                    done.add_callback(
+                        lambda evt, n=_name: journal.record(
+                            "op-done", n,
+                            summary=(evt.value.summary()
+                                     if evt.ok and hasattr(evt.value,
+                                                           "summary")
+                                     else "failed"),
+                        )
+                    )
+                return operation
+
+            setattr(controller, op_name, journaled_op)
+
+        controller.journal = journal
+        return journal
+
+    # ------------------------------------------------------------------ queries
+
+    def entries_of(self, kind: str) -> List[JournalEntry]:
+        return [entry for entry in self.entries if entry.kind == kind]
+
+    def between(self, start_ms: float, end_ms: float) -> List[JournalEntry]:
+        return [e for e in self.entries if start_ms <= e.time < end_ms]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """An aligned, human-readable timeline."""
+        entries = self.entries if limit is None else self.entries[:limit]
+        lines = ["%10.3f  %-12s %s" % (e.time, e.kind, e.detail)
+                 for e in entries]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

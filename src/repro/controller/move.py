@@ -1,0 +1,655 @@
+"""The ``move`` operation (§5.1), including Figure 6's algorithm.
+
+Three guarantee levels:
+
+* :attr:`Guarantee.NONE` — get/del/put then a route update. Packets
+  reaching the source during the window are dropped (the Split/Merge
+  behaviour the paper inherits for its no-guarantee mode); Figure 11(a)
+  counts these drops.
+* :attr:`Guarantee.LOSS_FREE` — ``enableEvents(filter, drop)`` on the
+  source first; dropped packets travel to the controller inside events,
+  are buffered there until ``putPerflow`` completes, and are then
+  re-injected towards the destination via packet-out (§5.1.1).
+* :attr:`Guarantee.ORDER_PRESERVING` — the full Figure 6 pseudo-code:
+  the loss-free steps, then buffering at the destination plus the
+  two-phase forwarding update (forward to {src, ctrl} at low priority,
+  observe the last packet, overlay a high-priority rule to dst, wait for
+  the destination to process that last packet, then release the
+  destination's buffer).
+
+Two optimizations (§5.1.3), composable with any guarantee:
+
+* **parallelizing (PL)** — the source streams each chunk as soon as it
+  is serialized and the controller immediately issues a per-chunk put;
+* **early release (ER)** — late locking (events enabled per flow just
+  before its chunk is serialized) plus per-flow release of buffered
+  events as soon as that flow's put returns. Only valid for a
+  single-scope move, as in the paper.
+
+Two further extensions the paper sketches are implemented as options:
+``compress=True`` ships chunks zlib-compressed (§8.3 measured 38 %
+smaller transfers), and ``peer_to_peer=True`` streams chunks directly
+from the source NF to the destination NF over an NF–NF channel instead
+of relaying them through the controller (footnote 10), bypassing the
+controller's serialized inbox entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.flowspace.filter import Filter, FlowId
+from repro.net.flowtable import HIGH_PRIORITY, MID_PRIORITY
+from repro.net.packet import Packet
+from repro.net.switch import CONTROLLER_PORT
+from repro.nf.base import NFCrash
+from repro.nf.events import DO_NOT_BUFFER, EventAction, PacketEvent
+from repro.nf.state import Scope, StateChunk
+from repro.controller.reports import OperationReport
+from repro.sim.process import AllOf, AnyOf
+
+
+class Guarantee(enum.Enum):
+    """Move-safety properties an application can request."""
+
+    NONE = "none"
+    LOSS_FREE = "loss-free"
+    ORDER_PRESERVING = "loss-free order-preserving"
+    #: The technical report's stronger variant: does not assume the
+    #: sw→srcInst path delivers in order. All matching traffic is
+    #: sequenced through the controller for the duration of the move.
+    ORDER_PRESERVING_STRONG = "loss-free order-preserving (strong)"
+
+    @classmethod
+    def parse(cls, value: Any) -> "Guarantee":
+        if isinstance(value, Guarantee):
+            return value
+        text = str(value).strip().lower()
+        aliases = {
+            "none": cls.NONE,
+            "ng": cls.NONE,
+            "loss-free": cls.LOSS_FREE,
+            "lossfree": cls.LOSS_FREE,
+            "lf": cls.LOSS_FREE,
+            "order-preserving": cls.ORDER_PRESERVING,
+            "loss-free order-preserving": cls.ORDER_PRESERVING,
+            "lf+op": cls.ORDER_PRESERVING,
+            "op": cls.ORDER_PRESERVING,
+            "op-strong": cls.ORDER_PRESERVING_STRONG,
+            "loss-free order-preserving (strong)": cls.ORDER_PRESERVING_STRONG,
+        }
+        try:
+            return aliases[text]
+        except KeyError:
+            raise ValueError("unknown guarantee %r" % (value,))
+
+
+class MoveOperation:
+    """One in-flight ``move``; ``done`` fires with the OperationReport."""
+
+    def __init__(
+        self,
+        controller,
+        src,
+        dst,
+        flt: Filter,
+        scopes: Tuple[Scope, ...],
+        guarantee: Guarantee,
+        parallel: bool = True,
+        early_release: bool = False,
+        compress: bool = False,
+        peer_to_peer: bool = False,
+        drain_grace_ms: float = 30.0,
+        first_packet_timeout_ms: float = 40.0,
+        counter_poll_ms: float = 8.0,
+    ) -> None:
+        if early_release and not parallel:
+            raise ValueError("early release requires the parallelizing optimization")
+        if early_release and len(scopes) > 1:
+            raise ValueError(
+                "early release applies to a move of per-flow or multi-flow "
+                "state, but not both (§5.1.3)"
+            )
+        if peer_to_peer and not parallel:
+            raise ValueError("peer-to-peer transfer implies chunk streaming")
+        self.controller = controller
+        self.sim = controller.sim
+        self.src = src
+        self.dst = dst
+        self.flt = flt
+        self.scopes = scopes
+        self.guarantee = guarantee
+        self.parallel = parallel
+        self.early_release = early_release
+        self.compress = compress
+        self.peer_to_peer = peer_to_peer
+        self.drain_grace_ms = drain_grace_ms
+        self.first_packet_timeout_ms = first_packet_timeout_ms
+        self.counter_poll_ms = counter_poll_ms
+        self.dst_port = controller.port_of(dst.name)
+        self.src_port = controller.port_of(src.name)
+
+        self.report = OperationReport(
+            kind="move",
+            guarantee=guarantee.value,
+            filter_repr=repr(flt),
+            src=src.name,
+            dst=dst.name,
+        )
+        self.done = self.sim.event("move-done")
+
+        # Event-buffering machinery (loss-free / order-preserving).
+        # One globally ordered buffer, as in Figure 6: flushing must not
+        # reorder packets across flows (cross-flow order matters for
+        # moves that include multi-flow state, §5.1.2).
+        self._buffering = False
+        self._event_buffer: List[Packet] = []
+        self._released_filters: List[Filter] = []
+        self._src_evented_uids: set = set()
+        self._dst_processed_uids: set = set()
+        self._await_src: Optional[Tuple[int, Any]] = None
+        self._await_dst: Optional[Tuple[int, Any]] = None
+        # Two-phase update state.
+        self._first_packet_event = self.sim.event("got-first-pkt-from-sw")
+        self._last_packet: Optional[Packet] = None
+        self._packet_in_count = 0
+        # Chunks exported so far, for restore-on-abort.
+        self._exported_chunks: List[StateChunk] = []
+        # Accounting snapshots.
+        self._src_drops_at_start = 0
+        self._dst_buffered_at_start = 0
+        self._interest_handles: List[int] = []
+
+        self.process = self.sim.spawn(self._run(), name="move-op")
+
+    # ------------------------------------------------------------------ driver
+
+    def _run(self):
+        self.report.started_at = self.sim.now
+        self._src_drops_at_start = self.src.nf.packets_dropped_silent
+        self._dst_buffered_at_start = len(self.dst.nf.buffered_log)
+        try:
+            if self.guarantee is Guarantee.NONE:
+                yield from self._run_no_guarantee()
+            elif self.guarantee is Guarantee.ORDER_PRESERVING_STRONG:
+                yield from self._run_strong_order_preserving()
+            else:
+                yield from self._run_loss_free(
+                    order_preserving=self.guarantee is Guarantee.ORDER_PRESERVING
+                )
+            self.report.finished_at = self.sim.now
+            yield from self._cleanup()
+        except NFCrash as crash:
+            # An instance died mid-operation: surface the abort instead
+            # of wedging. Buffered events are flushed towards whichever
+            # instance still works so packets are not stranded.
+            self.report.aborted = str(crash)
+            self.report.finished_at = self.sim.now
+            self._buffering = False
+            if not self.dst.nf.failed:
+                self._flush_queues(
+                    mark=self.guarantee is not Guarantee.LOSS_FREE
+                )
+            elif not self.src.nf.failed:
+                # Destination died: restore the already-exported (and
+                # deleted) state to the source, stop intercepting there,
+                # and hand the buffered packets back to it.
+                if self._exported_chunks:
+                    restores: Dict[Scope, List[StateChunk]] = {}
+                    for chunk in self._exported_chunks:
+                        restores.setdefault(chunk.scope, []).append(chunk)
+                    for scope, chunks in restores.items():
+                        if scope is Scope.PERFLOW:
+                            yield self.src.put_perflow(chunks)
+                        elif scope is Scope.MULTIFLOW:
+                            yield self.src.put_multiflow(chunks)
+                        else:
+                            yield self.src.put_allflows(chunks)
+                    self.report.notes.append(
+                        "restored %d chunks to %s"
+                        % (len(self._exported_chunks), self.src.name)
+                    )
+                yield self.src.disable_events_covered(self.flt)
+                self._flush_queues(mark=False, port=self.src_port)
+            if not self.src.nf.failed:
+                yield self.src.disable_events_covered(self.flt)
+        except Exception as exc:
+            # Anything else is an internal error: fail loudly so callers
+            # never hang on a move that died (the done event carries the
+            # exception).
+            self.report.aborted = "internal error: %r" % (exc,)
+            self.report.finished_at = self.sim.now
+            for handle in self._interest_handles:
+                self.controller.remove_interest(handle)
+            self.done.fail(exc)
+            raise
+        finally:
+            for handle in self._interest_handles:
+                self.controller.remove_interest(handle)
+        self.done.trigger(self.report)
+        return self.report
+
+    # -------------------------------------------------------------- NG variant
+
+    def _run_no_guarantee(self):
+        # Drop (without events) at the source for the operation window.
+        yield self.src.enable_events(self.flt, EventAction.DROP, silent=True)
+        self.report.mark_phase("locked", self.sim.now)
+        yield from self._transfer_state(lock_per_chunk=False)
+        yield self.controller.switch_client.install(
+            self.flt, [self.dst_port], MID_PRIORITY
+        )
+        self.report.mark_phase("rerouted", self.sim.now)
+
+    # -------------------------------------------------- LF / LF+OP (Figure 6)
+
+    def _run_loss_free(self, order_preserving: bool):
+        # shouldBufferEvents <- true; route events from src to this op.
+        self._buffering = True
+        self._interest_handles.append(
+            self.controller.add_event_interest(
+                self.src.name, self.flt, self._on_src_event
+            )
+        )
+        if not self.early_release:
+            # srcInst.enableEvents(filter, DROP)
+            yield self.src.enable_events(self.flt, EventAction.DROP)
+            self.report.mark_phase("events-enabled", self.sim.now)
+
+        # get/del/put (late-locking inside get when early_release).
+        yield from self._transfer_state(lock_per_chunk=self.early_release)
+        self.report.mark_phase("state-transferred", self.sim.now)
+
+        # Flush events buffered at the controller; later ones forward
+        # immediately. In the OP variant forwarded packets carry
+        # "do-not-buffer" so dstInst processes them despite its BUFFER rule.
+        self._flush_queues(mark=order_preserving)
+        self._buffering = False
+
+        if not order_preserving:
+            # Ensure flushed event packets have actually left the switch
+            # (rate-capped packet-out path) before switching traffic over.
+            yield self.controller.switch_client.packet_out_barrier()
+            self.report.mark_phase("events-flushed", self.sim.now)
+            yield self.controller.switch_client.install(
+                self.flt, [self.dst_port], MID_PRIORITY
+            )
+            self.report.mark_phase("rerouted", self.sim.now)
+            return
+
+        # dstInst.enableEvents(filter, BUFFER)
+        self._interest_handles.append(
+            self.controller.add_event_interest(
+                self.dst.name, self.flt, self._on_dst_event
+            )
+        )
+        yield self.dst.enable_events(self.flt, EventAction.BUFFER)
+        self.report.mark_phase("dst-buffering", self.sim.now)
+
+        # Phase 1: sw.install(filter, {srcInst, ctrl}, LOW_PRIORITY).
+        self._interest_handles.append(
+            self.controller.add_packet_interest(self.flt, self._on_packet_in)
+        )
+        yield self.controller.switch_client.install(
+            self.flt, [self.src_port, CONTROLLER_PORT], MID_PRIORITY
+        )
+        self.report.mark_phase("phase1-installed", self.sim.now)
+
+        # wait(GOT_FIRST_PKT_FROM_SW) — with a timeout so a silent flow
+        # space cannot wedge the operation (the paper assumes traffic).
+        yield AnyOf(
+            [
+                self._first_packet_event,
+                self.sim.timeout(self.first_packet_timeout_ms),
+            ]
+        )
+
+        # Phase 2: sw.install(filter, dstInst, HIGH_PRIORITY).
+        yield self.controller.switch_client.install(
+            self.flt, [self.dst_port], HIGH_PRIORITY
+        )
+        self.report.mark_phase("phase2-installed", self.sim.now)
+
+        # Footnote 9: confirm via rule counters that the stored packet is
+        # really the last one forwarded to srcInst.
+        while True:
+            packets, _bytes = yield self.controller.switch_client.read_counters(
+                self.flt, MID_PRIORITY
+            )
+            if packets == self._packet_in_count:
+                break
+            yield self.counter_poll_ms
+
+        if self._packet_in_count > 0:
+            last_uid = self._last_packet.uid
+            # wait for srcInst's event for the last packet (it is then
+            # forwarded to dstInst by _on_src_event, marked do-not-buffer).
+            if last_uid not in self._src_evented_uids:
+                waiter = self.sim.event("await-src-last")
+                self._await_src = (last_uid, waiter)
+                yield waiter
+            # wait(DST_PROCESSED_LAST_PKT)
+            if last_uid not in self._dst_processed_uids:
+                waiter = self.sim.event("await-dst-last")
+                self._await_dst = (last_uid, waiter)
+                yield waiter
+
+        # dstInst.disableEvents(filter): release the destination buffer.
+        yield self.dst.disable_events(self.flt)
+        self.report.mark_phase("dst-released", self.sim.now)
+
+    # ------------------------------------- strong OP (technical report, §5.1.2)
+
+    def _run_strong_order_preserving(self):
+        """Order preservation without trusting the sw→srcInst path.
+
+        The paper's Figure 6 relies on in-order delivery between the
+        switch and the source; its technical report sketches a stronger
+        variant. Here the controller becomes the serialization point:
+
+        1. redirect all matching traffic to the controller (consistent
+           update: nothing is lost, and every packet the switch handles
+           after the redirect reaches the controller in switch order);
+        2. drop-with-events at the source so stragglers already in
+           flight on the (possibly reordering) sw→src path surface as
+           events — they are all *earlier* in switch order than any
+           controller packet-in, so replaying src events first, then
+           the controller buffer, is order-correct up to the residual
+           ambiguity *within* the straggler set, which one flow-mod
+           window (not a whole move) of in-order delivery resolves;
+        3. transfer the state; replay src-event packets, then buffered
+           packet-ins, all marked do-not-buffer, towards the
+           destination (which buffers its direct arrivals);
+        4. switch traffic to the destination, confirm via rule counters
+           that the controller has seen every redirected packet, wait
+           for the destination to process the last replayed one, and
+           release its buffer.
+        """
+        self._buffering = True
+        self._ctrl_buffer: List[Packet] = []
+        self._interest_handles.append(
+            self.controller.add_event_interest(
+                self.src.name, self.flt, self._on_src_event
+            )
+        )
+        self._interest_handles.append(
+            self.controller.add_event_interest(
+                self.dst.name, self.flt, self._on_dst_event
+            )
+        )
+        self._interest_handles.append(
+            self.controller.add_packet_interest(
+                self.flt, self._on_strong_packet_in
+            )
+        )
+        # 1. Redirect the flow space through the controller.
+        yield self.controller.switch_client.install(
+            self.flt, [CONTROLLER_PORT], MID_PRIORITY
+        )
+        self.report.mark_phase("redirected", self.sim.now)
+        # 2. Surface in-flight stragglers as events.
+        yield self.src.enable_events(self.flt, EventAction.DROP)
+        self.report.mark_phase("events-enabled", self.sim.now)
+
+        # 3. Transfer state (same pipeline as the LF path).
+        yield from self._transfer_state(lock_per_chunk=self.early_release)
+        self.report.mark_phase("state-transferred", self.sim.now)
+
+        yield self.dst.enable_events(self.flt, EventAction.BUFFER)
+
+        # Replay: src-event stragglers first (earlier in switch order),
+        # then the controller's redirect buffer, marked do-not-buffer.
+        self._flush_queues(mark=True)          # src events
+        ctrl_buffered, self._ctrl_buffer = self._ctrl_buffer, []
+        for packet in ctrl_buffered:
+            self._forward_to_dst(packet, True)
+        self._buffering = False                # later arrivals: immediate
+
+        # 4. Hand the flow space to the destination.
+        yield self.controller.switch_client.install(
+            self.flt, [self.dst_port], HIGH_PRIORITY
+        )
+        self.report.mark_phase("rerouted", self.sim.now)
+        # Confirm the controller saw every redirected packet.
+        while True:
+            packets, _bytes = yield self.controller.switch_client.read_counters(
+                self.flt, MID_PRIORITY
+            )
+            if packets == self._packet_in_count:
+                break
+            yield self.counter_poll_ms
+        if self._last_packet is not None:
+            last_uid = self._last_packet.uid
+            if last_uid not in self._dst_processed_uids:
+                waiter = self.sim.event("await-dst-last-strong")
+                self._await_dst = (last_uid, waiter)
+                yield waiter
+        yield self.dst.disable_events(self.flt)
+        self.report.mark_phase("dst-released", self.sim.now)
+
+    def _on_strong_packet_in(self, packet: Packet) -> None:
+        self._packet_in_count += 1
+        self._last_packet = packet
+        self.report.packets_in_events += 1
+        self.report.affected_uids.add(packet.uid)
+        if self._buffering:
+            self._ctrl_buffer.append(packet)
+        else:
+            self._forward_to_dst(packet, True)
+
+    # --------------------------------------------------------- state transfer
+
+    def _transfer_state(self, lock_per_chunk: bool):
+        silent_lock = self.guarantee is Guarantee.NONE
+        for scope in self.scopes:
+            getter, putter, deleter = self._scope_calls(scope)
+            if self.peer_to_peer:
+                yield from self._transfer_scope_peer(
+                    scope, getter, deleter, lock_per_chunk, silent_lock
+                )
+            elif self.parallel:
+                put_events: List[Any] = []
+
+                def handle_chunk(chunk: StateChunk, _putter=putter, _scope=scope):
+                    self.report.add_chunk(
+                        _scope.value, chunk.size_bytes, chunk.wire_size_bytes
+                    )
+                    self._exported_chunks.append(chunk)
+                    put_event = _putter([chunk])
+                    if self.early_release:
+                        put_event.add_callback(
+                            lambda _evt, c=chunk: self._release_flow(c.flowid)
+                        )
+                    put_events.append(put_event)
+
+                # Each streamed chunk passes through the controller's
+                # serialized inbox before its put is issued (§8.3).
+                chunks = yield getter(
+                    self.flt,
+                    stream=lambda c: self.controller.enqueue_chunk(
+                        handle_chunk, c
+                    ),
+                    lock_per_chunk=lock_per_chunk,
+                    lock_silent=silent_lock,
+                    compress=self.compress,
+                )
+                if deleter is not None and chunks:
+                    yield deleter([c.flowid for c in chunks if c.flowid])
+                yield self.controller.inbox_drained()
+                if put_events:
+                    yield AllOf(put_events)
+            else:
+                chunks = yield getter(self.flt, compress=self.compress)
+                for chunk in chunks:
+                    self.report.add_chunk(
+                        scope.value, chunk.size_bytes, chunk.wire_size_bytes
+                    )
+                self._exported_chunks.extend(chunks)
+                if deleter is not None and chunks:
+                    yield deleter([c.flowid for c in chunks if c.flowid])
+                yield putter(chunks)
+
+    def _transfer_scope_peer(
+        self, scope, getter, deleter, lock_per_chunk, silent_lock
+    ):
+        """Footnote-10 mode: chunks flow src→dst directly.
+
+        The source's get streams each serialized chunk over a dedicated
+        NF–NF channel; the destination imports it locally (no controller
+        relay, no inbox queueing). Early release is signalled back to
+        the controller over the destination's event channel.
+        """
+        from repro.net.channel import ControlChannel
+
+        peer = ControlChannel(
+            self.sim,
+            name="%s->%s" % (self.src.name, self.dst.name),
+            latency_ms=self.controller.nf_channel_latency_ms,
+            bandwidth_bytes_per_ms=self.controller.nf_channel_bandwidth,
+        )
+        put_events: List[Any] = []
+
+        def deliver(chunk: StateChunk) -> None:
+            put_process = self.dst.nf.sb_put([chunk])
+            put_events.append(put_process.done)
+            if self.early_release:
+                def notify_release(_evt, c=chunk):
+                    # dst tells the controller the chunk landed.
+                    self.dst.from_nf.send(
+                        64, self._release_flow, c.flowid
+                    )
+                put_process.done.add_callback(notify_release)
+
+        def ship(chunk: StateChunk) -> None:
+            self.report.add_chunk(
+                scope.value, chunk.size_bytes, chunk.wire_size_bytes
+            )
+            self._exported_chunks.append(chunk)
+            peer.send(chunk.wire_size_bytes + 74, deliver, chunk)
+
+        chunks = yield getter(
+            self.flt,
+            raw_stream=ship,
+            lock_per_chunk=lock_per_chunk,
+            lock_silent=silent_lock,
+            compress=self.compress,
+        )
+        if deleter is not None and chunks:
+            yield deleter([c.flowid for c in chunks if c.flowid])
+        if put_events:
+            yield AllOf(put_events)
+
+    def _scope_calls(self, scope: Scope):
+        if scope is Scope.PERFLOW:
+            return (self.src.get_perflow, self.dst.put_perflow, self.src.del_perflow)
+        if scope is Scope.MULTIFLOW:
+            return (
+                self.src.get_multiflow,
+                self.dst.put_multiflow,
+                self.src.del_multiflow,
+            )
+
+        def get_allflows(flt, stream=None, lock_per_chunk=False,
+                         lock_silent=False, compress=False, raw_stream=None):
+            return self.src.get_allflows(
+                stream=stream, compress=compress, raw_stream=raw_stream
+            )
+
+        return (get_allflows, self.dst.put_allflows, None)
+
+    # --------------------------------------------------------- event plumbing
+
+    def _on_src_event(self, event: PacketEvent) -> None:
+        packet = event.packet
+        self.report.packets_in_events += 1
+        self.report.affected_uids.add(packet.uid)
+        self._src_evented_uids.add(packet.uid)
+        if self._await_src is not None and self._await_src[0] == packet.uid:
+            waiter = self._await_src[1]
+            self._await_src = None
+            waiter.trigger()
+        mark = self.guarantee in (
+            Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
+        )
+        if self._buffering:
+            if self.early_release and any(
+                f.matches_packet(packet) for f in self._released_filters
+            ):
+                self._forward_to_dst(packet, mark)
+            else:
+                self._event_buffer.append(packet)
+        else:
+            self._forward_to_dst(packet, mark)
+
+    def _on_dst_event(self, event: PacketEvent) -> None:
+        uid = event.packet.uid
+        self._dst_processed_uids.add(uid)
+        if self._await_dst is not None and self._await_dst[0] == uid:
+            waiter = self._await_dst[1]
+            self._await_dst = None
+            waiter.trigger()
+
+    def _on_packet_in(self, packet: Packet) -> None:
+        self._packet_in_count += 1
+        self._last_packet = packet
+        if not self._first_packet_event.triggered:
+            self._first_packet_event.trigger()
+
+    def _forward_to_dst(self, packet: Packet, mark: bool) -> None:
+        if mark:
+            packet.mark(DO_NOT_BUFFER)
+        self.controller.switch_client.packet_out(packet, self.dst_port)
+
+    def _release_flow(self, flowid: Optional[FlowId]) -> None:
+        """Early release: flush and unblock the flows a chunk covers.
+
+        For a per-flow chunk this is exactly one flow; for a multi-flow
+        chunk (e.g. a host counter) every buffered flow it covers is
+        released. Matching packets leave the buffer in their original
+        (global) order.
+        """
+        if flowid is None:
+            return
+        release_filter = Filter(flowid.fields, symmetric=True)
+        self._released_filters.append(release_filter)
+        mark = self.guarantee in (
+            Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
+        )
+        kept: List[Packet] = []
+        for packet in self._event_buffer:
+            if release_filter.matches_packet(packet):
+                self._forward_to_dst(packet, mark)
+            else:
+                kept.append(packet)
+        self._event_buffer = kept
+
+    def _flush_queues(self, mark: bool, port: Optional[str] = None) -> None:
+        target = self.dst_port if port is None else port
+        buffered, self._event_buffer = self._event_buffer, []
+        for packet in buffered:
+            if mark:
+                packet.mark(DO_NOT_BUFFER)
+            self.controller.switch_client.packet_out(packet, target)
+
+    # ----------------------------------------------------------------- cleanup
+
+    def _cleanup(self):
+        yield self.drain_grace_ms
+        if self.guarantee in (
+            Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
+        ):
+            # The phase-1 {src, ctrl} rule is shadowed by the HIGH rule;
+            # retire it so later operations start from a clean table.
+            yield self.controller.switch_client.remove(self.flt, MID_PRIORITY)
+        # Remove the source's event rules (global and late-locked per-flow).
+        yield self.src.disable_events_covered(self.flt)
+        # Flush anything that trickled in during the grace period.
+        self._flush_queues(mark=self.guarantee is Guarantee.ORDER_PRESERVING)
+        self.report.packets_dropped = (
+            self.src.nf.packets_dropped_silent - self._src_drops_at_start
+        )
+        buffered = self.dst.nf.buffered_log[self._dst_buffered_at_start :]
+        self.report.packets_buffered_at_dst = len(buffered)
+        for _time, uid in buffered:
+            self.report.affected_uids.add(uid)

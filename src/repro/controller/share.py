@@ -1,0 +1,288 @@
+"""The ``share`` operation (§5.2.2): strong and strict consistency.
+
+Both modes serialize reads/updates of shared state through the
+controller, one packet at a time per flow group:
+
+* **strong** — every instance gets ``enableEvents(filter, drop)``; a
+  packet's event is queued at the controller, the packet is re-injected
+  towards its origin instance marked ``do-not-drop``, the instance
+  processes it and raises a completion event, the controller then pulls
+  the (possibly updated) state from the origin and pushes it to every
+  other instance in parallel, and only then releases the next packet of
+  that group. The global update order may differ from switch arrival
+  order, but per-instance order is preserved.
+* **strict** — the controller must know the switch arrival order, so
+  every relevant forwarding entry is redirected to the controller;
+  instances get ``enableEvents(filter, process)`` and receive packets
+  only via controller packet-outs, in exactly switch order.
+
+Flow groups (the serialization domains) are keyed at the coarsest
+granularity of the shared state: per flow, per host pair, or one global
+queue (``group_by`` = ``"flow"`` / ``"host"`` / ``"all"``).
+
+This costs ≥13 ms of added latency per packet in the paper; adding more
+instances does not increase it because the ``put*`` fan-out is issued in
+parallel.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.flowspace.filter import Filter
+from repro.net.packet import Packet
+from repro.nf.events import DO_NOT_DROP, EventAction, PacketEvent
+from repro.nf.state import Scope
+from repro.controller.reports import OperationReport
+from repro.sim.process import AllOf
+
+
+class ShareOperation:
+    """A long-running state-sharing session across ≥2 NF instances."""
+
+    def __init__(
+        self,
+        controller,
+        instances: List[Any],
+        flt: Filter,
+        scopes: Tuple[Scope, ...],
+        consistency: str = "strong",
+        group_by: str = "host",
+    ) -> None:
+        if len(instances) < 2:
+            raise ValueError("share requires at least two instances")
+        if consistency not in ("strong", "strict"):
+            raise ValueError("consistency must be 'strong' or 'strict'")
+        if group_by not in ("flow", "host", "all"):
+            raise ValueError("group_by must be 'flow', 'host', or 'all'")
+        self.controller = controller
+        self.sim = controller.sim
+        self.instances = instances
+        self.flt = flt
+        self.scopes = scopes
+        self.consistency = consistency
+        self.group_by = group_by
+        self.report = OperationReport(
+            kind="share",
+            guarantee=consistency,
+            filter_repr=repr(flt),
+            src="+".join(i.name for i in instances),
+            dst="*",
+        )
+        #: Added per-packet latency samples (completion - arrival), ms.
+        self.latency_samples: List[float] = []
+        self.packets_serialized = 0
+        self.started = self.sim.event("share-started")
+        self.stopped = self.sim.event("share-stopped")
+        self._queues: "OrderedDict[Any, Deque[Tuple[str, Packet, float]]]" = (
+            OrderedDict()
+        )
+        self._group_busy: Dict[Any, bool] = {}
+        self._awaiting: Dict[Tuple[str, int], Any] = {}
+        self._interest_handles: List[int] = []
+        self._redirected_entries: List[Tuple[Filter, int, Tuple[str, ...]]] = []
+        self._stopping = False
+        self.process = self.sim.spawn(self._setup(), name="share-op")
+
+    # -------------------------------------------------------------------- setup
+
+    def _setup(self):
+        self.report.started_at = self.sim.now
+        for client in self.instances:
+            self._interest_handles.append(
+                self.controller.add_event_interest(
+                    client.name, self.flt, self._on_event
+                )
+            )
+        if self.consistency == "strong":
+            acks = [
+                client.enable_events(self.flt, EventAction.DROP)
+                for client in self.instances
+            ]
+            yield AllOf(acks)
+        else:
+            # Instances process what we send them and signal completion.
+            acks = [
+                client.enable_events(self.flt, EventAction.PROCESS)
+                for client in self.instances
+            ]
+            yield AllOf(acks)
+            # Redirect every relevant forwarding entry to the controller.
+            entries = yield self.controller.switch_client.read_entries(self.flt)
+            installs = []
+            for entry_filter, priority, actions in entries:
+                targets = {
+                    self.controller.instance_at_port(a) for a in actions
+                }
+                if not targets & {c.name for c in self.instances}:
+                    continue
+                self._redirected_entries.append((entry_filter, priority, actions))
+                installs.append(
+                    self.controller.switch_client.install(
+                        entry_filter, ["controller"], priority
+                    )
+                )
+            if installs:
+                yield AllOf(installs)
+            self._interest_handles.append(
+                self.controller.add_packet_interest(self.flt, self._on_packet_in)
+            )
+        # Initial synchronization: pull from every instance, push the union
+        # everywhere else (NF-side merge combines).
+        all_chunks = []
+        for client in self.instances:
+            for scope in self.scopes:
+                chunks = yield self._get(client, scope)
+                for chunk in chunks:
+                    self.report.add_chunk(scope.value, chunk.size_bytes)
+                all_chunks.append((client.name, chunks))
+        puts = []
+        for origin_name, chunks in all_chunks:
+            if not chunks:
+                continue
+            for client in self.instances:
+                if client.name != origin_name:
+                    puts.append(self._put(client, chunks))
+        if puts:
+            yield AllOf(puts)
+        self.report.mark_phase("synchronized", self.sim.now)
+        self.started.trigger()
+
+    def _get(self, client, scope: Scope, flt: Optional[Filter] = None):
+        flt = flt or self.flt
+        if scope is Scope.PERFLOW:
+            return client.get_perflow(flt)
+        if scope is Scope.MULTIFLOW:
+            return client.get_multiflow(flt)
+        return client.get_allflows()
+
+    def _put(self, client, chunks):
+        if not chunks:
+            return self.sim.timeout(0.0)
+        scope = chunks[0].scope
+        if scope is Scope.PERFLOW:
+            return client.put_perflow(chunks)
+        if scope is Scope.MULTIFLOW:
+            return client.put_multiflow(chunks)
+        return client.put_allflows(chunks)
+
+    # ----------------------------------------------------------------- dispatch
+
+    def _group_key(self, packet: Packet) -> Any:
+        if self.group_by == "all":
+            return "all"
+        ft = packet.five_tuple
+        if self.group_by == "host":
+            return tuple(sorted((ft.src_ip, ft.dst_ip)))
+        canonical = ft.canonical()
+        return (
+            canonical.src_ip,
+            canonical.src_port,
+            canonical.dst_ip,
+            canonical.dst_port,
+            canonical.proto,
+        )
+
+    def _on_event(self, event: PacketEvent) -> None:
+        if event.action_taken is EventAction.PROCESS:
+            waiter = self._awaiting.pop((event.nf_name, event.packet.uid), None)
+            if waiter is not None:
+                waiter.trigger()
+            return
+        # A DROP event: a packet awaiting serialized processing (strong).
+        self._enqueue(event.nf_name, event.packet)
+
+    def _on_packet_in(self, packet: Packet) -> None:
+        # Strict mode: the controller sees packets in switch order and
+        # routes each to the instance its original rule selected.
+        target = self._original_target(packet)
+        if target is not None:
+            self._enqueue(target, packet)
+
+    def _original_target(self, packet: Packet) -> Optional[str]:
+        best: Optional[Tuple[int, str]] = None
+        for entry_filter, priority, actions in self._redirected_entries:
+            if entry_filter.matches_packet(packet):
+                for action in actions:
+                    name = self.controller.instance_at_port(action)
+                    if name and (best is None or priority > best[0]):
+                        best = (priority, name)
+        return None if best is None else best[1]
+
+    def _enqueue(self, origin: str, packet: Packet) -> None:
+        key = self._group_key(packet)
+        self._queues.setdefault(key, deque()).append(
+            (origin, packet, self.sim.now)
+        )
+        if not self._group_busy.get(key):
+            self._group_busy[key] = True
+            self.sim.spawn(self._worker(key), name="share-worker")
+
+    # ------------------------------------------------------------------- worker
+
+    def _worker(self, key):
+        queue = self._queues[key]
+        while queue:
+            origin_name, packet, enqueued_at = queue.popleft()
+            origin = next(c for c in self.instances if c.name == origin_name)
+            if self.consistency == "strong":
+                packet.mark(DO_NOT_DROP)
+            waiter = self.sim.event("share-processed")
+            self._awaiting[(origin_name, packet.uid)] = waiter
+            self.controller.switch_client.packet_out(
+                packet, self.controller.port_of(origin_name)
+            )
+            yield waiter
+            # Pull the updated state from the origin and push it to peers
+            # in parallel (why added latency is flat in instance count).
+            sync_filter = Filter.for_flow(packet.five_tuple, symmetric=True)
+            puts = []
+            for scope in self.scopes:
+                chunks = yield self._get(origin, scope, sync_filter)
+                if not chunks:
+                    continue
+                for client in self.instances:
+                    if client.name != origin_name:
+                        puts.append(self._put(client, chunks))
+            if puts:
+                yield AllOf(puts)
+            self.packets_serialized += 1
+            self.latency_samples.append(self.sim.now - enqueued_at)
+            self.report.affected_uids.add(packet.uid)
+        self._group_busy[key] = False
+
+    # --------------------------------------------------------------------- stop
+
+    def stop(self):
+        """Tear the session down; the ``stopped`` event fires when done."""
+        if self._stopping:
+            return self.stopped
+        self._stopping = True
+        self.sim.spawn(self._teardown(), name="share-stop")
+        return self.stopped
+
+    def _teardown(self):
+        for handle in self._interest_handles:
+            self.controller.remove_interest(handle)
+        acks = [client.disable_events(self.flt) for client in self.instances]
+        yield AllOf(acks)
+        restores = []
+        for entry_filter, priority, actions in self._redirected_entries:
+            restores.append(
+                self.controller.switch_client.install(
+                    entry_filter, list(actions), priority
+                )
+            )
+        if restores:
+            yield AllOf(restores)
+        self.report.finished_at = self.sim.now
+        self.stopped.trigger(self.report)
+
+    # ------------------------------------------------------------------ metrics
+
+    def average_added_latency_ms(self) -> float:
+        """Mean serialized-processing latency per packet."""
+        if not self.latency_samples:
+            return 0.0
+        return sum(self.latency_samples) / len(self.latency_samples)

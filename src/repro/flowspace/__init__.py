@@ -1,0 +1,25 @@
+"""Flow-space algebra: five-tuples, filters, and flow ids.
+
+OpenNF specifies *which* state to export/import and *which* packets to
+match using OpenFlow-style header filters (§4.2 of the paper): a filter is
+a dictionary of header fields (``nw_src``, ``nw_dst``, ``nw_proto``,
+``tp_src``, ``tp_dst``, ...); unspecified fields are wildcards, and IP
+fields may carry CIDR prefixes. A *flowid* is the same shape but
+describes the flow (or flow aggregate) a piece of state pertains to.
+
+This package implements that vocabulary plus the subsumption/overlap
+queries the switch and controller need.
+"""
+
+from repro.flowspace.fivetuple import FiveTuple
+from repro.flowspace.filter import Filter, FlowId
+from repro.flowspace.ip import ip_in_prefix, ip_to_int, parse_prefix
+
+__all__ = [
+    "FiveTuple",
+    "Filter",
+    "FlowId",
+    "ip_in_prefix",
+    "ip_to_int",
+    "parse_prefix",
+]

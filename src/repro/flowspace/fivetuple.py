@@ -1,0 +1,69 @@
+"""The classic transport five-tuple and its bidirectional canonical form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+TCP = 6
+UDP = 17
+ICMP = 1
+
+_PROTO_NAMES = {TCP: "tcp", UDP: "udp", ICMP: "icmp"}
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """An immutable ``(src_ip, src_port, dst_ip, dst_port, proto)`` tuple.
+
+    NFs key per-flow state by the *bidirectional* flow, so
+    :meth:`canonical` returns a direction-independent form (the endpoint
+    with the lexicographically smaller ``(ip_int, port)`` first); both
+    directions of a connection canonicalize identically.
+    """
+
+    src_ip: str
+    src_port: int
+    dst_ip: str
+    dst_port: int
+    proto: int = TCP
+
+    def reversed(self) -> "FiveTuple":
+        """The same flow seen from the opposite direction."""
+        return FiveTuple(
+            self.dst_ip, self.dst_port, self.src_ip, self.src_port, self.proto
+        )
+
+    def canonical(self) -> "FiveTuple":
+        """Direction-normalized form shared by both directions of the flow."""
+        from repro.flowspace.ip import ip_to_int
+
+        left = (ip_to_int(self.src_ip), self.src_port)
+        right = (ip_to_int(self.dst_ip), self.dst_port)
+        if left <= right:
+            return self
+        return self.reversed()
+
+    def headers(self) -> Dict[str, Union[str, int]]:
+        """Header-field dict in the OpenFlow-ish naming the filters use."""
+        return {
+            "nw_src": self.src_ip,
+            "nw_dst": self.dst_ip,
+            "nw_proto": self.proto,
+            "tp_src": self.src_port,
+            "tp_dst": self.dst_port,
+        }
+
+    @property
+    def proto_name(self) -> str:
+        """Human-readable protocol name ("tcp", "udp", "icmp", or number)."""
+        return _PROTO_NAMES.get(self.proto, str(self.proto))
+
+    def __str__(self) -> str:
+        return "%s:%d->%s:%d/%s" % (
+            self.src_ip,
+            self.src_port,
+            self.dst_ip,
+            self.dst_port,
+            self.proto_name,
+        )

@@ -1,0 +1,27 @@
+"""Experiment harness: deployment wiring, scenarios, and property checks."""
+
+from repro.harness.deployment import Deployment
+from repro.harness.scenarios import (
+    LOCAL_NET_FILTER,
+    MoveExperimentResult,
+    build_multi_instance_deployment,
+    run_move_experiment,
+)
+from repro.harness.properties import (
+    check_loss_free,
+    check_order_preserving,
+    merged_processing_order,
+    switch_forwarding_order,
+)
+
+__all__ = [
+    "Deployment",
+    "LOCAL_NET_FILTER",
+    "MoveExperimentResult",
+    "build_multi_instance_deployment",
+    "run_move_experiment",
+    "check_loss_free",
+    "check_order_preserving",
+    "merged_processing_order",
+    "switch_forwarding_order",
+]

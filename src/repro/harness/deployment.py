@@ -1,0 +1,117 @@
+"""Deployment wiring: one switch, one controller, N NF instances.
+
+Models the paper's evaluation topologies (Figure 4's off-path/on-path
+placements and Figure 7's monitored network): an SDN switch receives
+(a copy of) traffic and forwards it to NF instances over links; the
+OpenNF controller talks to the switch and to every NF over control
+channels. :class:`Deployment` assembles all of it with calibrated
+default latencies and exposes the handful of helpers experiments need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.flowspace.filter import Filter
+from repro.net.flowtable import LOW_PRIORITY
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.switch import Switch
+from repro.nf.base import NetworkFunction
+from repro.nf.southbound import NFClient
+from repro.controller.controller import OpenNFController
+from repro.sim.core import Simulator
+
+
+class Deployment:
+    """A wired-up simulation: switch + controller + NFs."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        flowmod_delay_ms: float = 10.0,
+        packet_out_rate_pps: float = 4000.0,
+        nf_link_latency_ms: float = 0.25,
+        msg_proc_ms: float = 0.15,
+        nf_channel_latency_ms: float = 1.0,
+        sw_channel_latency_ms: float = 0.6,
+        nf_channel_bandwidth_bytes_per_ms: float = 125_000.0,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.switch = Switch(
+            self.sim,
+            name="sw",
+            flowmod_delay_ms=flowmod_delay_ms,
+            packet_out_rate_pps=packet_out_rate_pps,
+        )
+        self.controller = OpenNFController(
+            self.sim,
+            switch=self.switch,
+            msg_proc_ms=msg_proc_ms,
+            nf_channel_latency_ms=nf_channel_latency_ms,
+            sw_channel_latency_ms=sw_channel_latency_ms,
+            nf_channel_bandwidth_bytes_per_ms=nf_channel_bandwidth_bytes_per_ms,
+        )
+        self.nf_link_latency_ms = nf_link_latency_ms
+        self.nfs: Dict[str, NetworkFunction] = {}
+
+    def add_nf(
+        self, nf: NetworkFunction, link_latency_ms: Optional[float] = None
+    ) -> NFClient:
+        """Attach an NF behind a data-path link and register it southbound."""
+        latency = (
+            self.nf_link_latency_ms if link_latency_ms is None else link_latency_ms
+        )
+        link = Link(
+            self.sim, name="sw->%s" % nf.name, latency_ms=latency
+        )
+        self.switch.attach(nf.name, nf.receive, link)
+        self.nfs[nf.name] = nf
+        return self.controller.register_nf(nf, port=nf.name)
+
+    def set_default_route(
+        self, nf_name: str, flt: Optional[Filter] = None
+    ) -> None:
+        """Bootstrap rule: send (matching) traffic to ``nf_name``.
+
+        Installed directly in the table (deployment-time configuration,
+        not a controller operation).
+        """
+        self.switch.table.install(
+            flt or Filter.wildcard(), LOW_PRIORITY, [nf_name], self.sim.now
+        )
+
+    def inject(self, packet: Packet) -> None:
+        """Entry point for generated traffic (the switch's ingress)."""
+        self.switch.inject(packet)
+
+    # ------------------------------------------------------------------ metrics
+
+    def processed_events(self) -> List[Tuple[float, int, str]]:
+        """Merged, time-ordered (time, uid, nf_name) processing log."""
+        merged: List[Tuple[float, int, str]] = []
+        for name, nf in self.nfs.items():
+            merged.extend((t, uid, name) for (t, uid) in nf.processing_log)
+        merged.sort(key=lambda item: (item[0], item[1]))
+        return merged
+
+    def processed_uid_counts(self) -> Dict[int, int]:
+        """How many times each packet uid was processed, across instances."""
+        counts: Dict[int, int] = {}
+        for nf in self.nfs.values():
+            for _time, uid in nf.processing_log:
+                counts[uid] = counts.get(uid, 0) + 1
+        return counts
+
+    def processing_time_of(self, uid: int) -> Optional[float]:
+        """When packet ``uid`` finished processing (first occurrence)."""
+        best: Optional[float] = None
+        for nf in self.nfs.values():
+            for time, logged_uid in nf.processing_log:
+                if logged_uid == uid and (best is None or time < best):
+                    best = time
+        return best
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Convenience passthrough to the simulator."""
+        return self.sim.run(until=until)

@@ -1,0 +1,17 @@
+"""Measurement helpers for the evaluation harness."""
+
+from repro.metrics.latency import LatencyReport, added_latency, completion_times
+from repro.metrics.throughput import (
+    sustained_throughput,
+    throughput_timeline,
+    time_to_reach,
+)
+
+__all__ = [
+    "LatencyReport",
+    "added_latency",
+    "completion_times",
+    "sustained_throughput",
+    "throughput_timeline",
+    "time_to_reach",
+]

@@ -1,0 +1,88 @@
+"""Per-packet added-latency analysis (Figure 10(b) of the paper).
+
+The paper reports the *additional* latency imposed on packets affected
+by an operation — packets carried in events from the source or buffered
+at the destination. We compute each packet's end-to-end latency
+(processing completion minus injection) and subtract the baseline
+latency of unaffected packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass
+class LatencyReport:
+    """Added-latency summary for one operation."""
+
+    baseline_ms: float = 0.0
+    affected_count: int = 0
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def average_added_ms(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def max_added_ms(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+def _median(values: List[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def completion_times(nfs) -> Dict[int, float]:
+    """uid -> earliest processing-completion time across instances."""
+    times: Dict[int, float] = {}
+    for nf in nfs:
+        for when, uid in nf.processing_log:
+            if uid not in times or when < times[uid]:
+                times[uid] = when
+    return times
+
+
+def added_latency(
+    nfs,
+    injected_packets,
+    affected_uids: Set[int],
+) -> LatencyReport:
+    """Compute the added latency of ``affected_uids``.
+
+    ``injected_packets`` supplies each packet's injection time; baseline
+    is the median latency of processed packets *not* in the affected set.
+    """
+    completions = completion_times(nfs)
+    created: Dict[int, float] = {p.uid: p.created_at for p in injected_packets}
+    baseline_samples: List[float] = []
+    affected_samples: List[Tuple[int, float]] = []
+    for uid, done_at in completions.items():
+        if uid not in created:
+            continue
+        latency = done_at - created[uid]
+        if uid in affected_uids:
+            affected_samples.append((uid, latency))
+        else:
+            baseline_samples.append(latency)
+    baseline = _median(baseline_samples)
+    report = LatencyReport(baseline_ms=baseline, affected_count=len(affected_samples))
+    report.samples = [max(0.0, latency - baseline) for _uid, latency in
+                      affected_samples]
+    return report

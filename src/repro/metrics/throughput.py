@@ -1,0 +1,78 @@
+"""Throughput timelines: the paper's goal #1 (performance SLAs).
+
+§2 of the paper frames everything around SLAs like "aggregate
+throughput should exceed 1 Gbps most of the time". These helpers turn
+NF processing logs into per-interval throughput series so scenarios can
+measure overload, scale-out, and recovery times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def throughput_timeline(
+    nfs, bucket_ms: float = 50.0, until: Optional[float] = None
+) -> List[Tuple[float, float]]:
+    """Aggregate processed packets/second per time bucket.
+
+    Returns ``[(bucket_start_ms, packets_per_second), ...]`` over the
+    union of the given NFs' processing logs.
+    """
+    times: List[float] = []
+    for nf in nfs:
+        times.extend(t for (t, _uid) in nf.processing_log)
+    if not times:
+        return []
+    horizon = max(times) if until is None else until
+    n_buckets = int(horizon / bucket_ms) + 1
+    counts = [0] * n_buckets
+    for t in times:
+        index = int(t / bucket_ms)
+        if index < n_buckets:
+            counts[index] += 1
+    return [
+        (i * bucket_ms, count * 1000.0 / bucket_ms)
+        for i, count in enumerate(counts)
+    ]
+
+
+def sustained_throughput(
+    timeline: Sequence[Tuple[float, float]],
+    start_ms: float,
+    end_ms: Optional[float] = None,
+) -> float:
+    """Mean throughput over a window of the timeline."""
+    window = [
+        pps for (t, pps) in timeline
+        if t >= start_ms and (end_ms is None or t < end_ms)
+    ]
+    return sum(window) / len(window) if window else 0.0
+
+
+def time_to_reach(
+    timeline: Sequence[Tuple[float, float]],
+    target_pps: float,
+    after_ms: float = 0.0,
+    sustain_buckets: int = 2,
+) -> Optional[float]:
+    """First time (≥ ``after_ms``) throughput sustains ``target_pps``.
+
+    "Sustains" means ``sustain_buckets`` consecutive buckets at or above
+    the target; returns the start of the first such run, or None.
+    """
+    run = 0
+    for t, pps in timeline:
+        if t < after_ms:
+            continue
+        if pps >= target_pps:
+            run += 1
+            if run >= sustain_buckets:
+                return t - (sustain_buckets - 1) * (
+                    timeline[1][0] - timeline[0][0] if len(timeline) > 1 else 0
+                )
+        else:
+            run = 0
+    return None
+
+

@@ -1,0 +1,63 @@
+"""Control channels: latency/bandwidth-modeled message pipes.
+
+The OpenNF prototype exchanges JSON messages between the controller and
+NFs/switches over TCP (§7). A :class:`ControlChannel` models one such
+connection: each message is delayed by a fixed propagation latency plus a
+size-dependent transmission time. State-chunk transfers dominate these
+sizes, which is what makes Table 1's copy-all versus copy-client numbers
+and the compression discussion of §8.3 reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.core import Simulator
+
+#: 1 Gbps expressed in bytes per millisecond.
+GIGABIT_BYTES_PER_MS = 125_000.0
+
+
+class ControlChannel:
+    """A unidirectional message pipe with latency and bandwidth."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "",
+        latency_ms: float = 0.5,
+        bandwidth_bytes_per_ms: float = GIGABIT_BYTES_PER_MS,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.latency_ms = latency_ms
+        self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self._busy_until = 0.0
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Latency + transmission time for a message of ``size_bytes``
+        on an idle channel."""
+        return self.latency_ms + size_bytes / self.bandwidth_bytes_per_ms
+
+    def send(
+        self, size_bytes: int, deliver: Callable[..., None], *args: Any
+    ) -> float:
+        """Deliver ``deliver(*args)`` after the modeled delay; returns delay.
+
+        Store-and-forward with a shared transmitter: each message's
+        transmission occupies the channel for ``size / bandwidth`` and
+        starts only once earlier messages have finished sending, then
+        propagates for ``latency_ms``. This both enforces FIFO delivery
+        (the channel is a TCP connection) and makes sustained bulk
+        transfers genuinely bandwidth-bound.
+        """
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        start = max(self.sim.now, self._busy_until)
+        transmit = size_bytes / self.bandwidth_bytes_per_ms
+        self._busy_until = start + transmit
+        arrival = self._busy_until + self.latency_ms
+        self.sim.schedule(arrival - self.sim.now, deliver, *args)
+        return arrival - self.sim.now

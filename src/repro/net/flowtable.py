@@ -1,0 +1,113 @@
+"""Priority flow table, OpenFlow-style.
+
+Entries pair a :class:`~repro.flowspace.filter.Filter` with a priority and
+an action list; lookup returns the highest-priority matching entry (most
+recently installed wins ties, which is what the two-phase update in §5.1.2
+relies on when it layers a HIGH_PRIORITY entry over a LOW_PRIORITY one).
+Each entry keeps packet/byte counters — the paper's footnote 9 uses these
+to confirm the controller has seen the last packet sent to srcInst.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.flowspace.filter import Filter
+from repro.net.packet import Packet
+
+LOW_PRIORITY = 10
+MID_PRIORITY = 100
+HIGH_PRIORITY = 1000
+
+_entry_ids = itertools.count(1)
+
+
+class FlowEntry:
+    """One installed rule: filter + priority + forwarding actions."""
+
+    __slots__ = ("entry_id", "filter", "priority", "actions", "packets", "bytes",
+                 "installed_at")
+
+    def __init__(
+        self,
+        flt: Filter,
+        priority: int,
+        actions: Sequence[str],
+        installed_at: float,
+    ) -> None:
+        self.entry_id = next(_entry_ids)
+        self.filter = flt
+        self.priority = priority
+        self.actions: Tuple[str, ...] = tuple(actions)
+        self.packets = 0
+        self.bytes = 0
+        self.installed_at = installed_at
+
+    def count(self, packet: Packet) -> None:
+        self.packets += 1
+        self.bytes += packet.size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<FlowEntry #%d p=%d %r -> %s>" % (
+            self.entry_id,
+            self.priority,
+            self.filter,
+            "/".join(self.actions),
+        )
+
+
+class FlowTable:
+    """An ordered rule set with highest-priority-wins lookup."""
+
+    def __init__(self) -> None:
+        self._entries: List[FlowEntry] = []
+
+    def install(
+        self, flt: Filter, priority: int, actions: Sequence[str], now: float
+    ) -> FlowEntry:
+        """Add a rule; replaces an existing rule with identical filter+priority."""
+        self.remove(flt, priority)
+        entry = FlowEntry(flt, priority, actions, now)
+        self._entries.append(entry)
+        # Stable sort: priority desc, then newest first among equals.
+        self._entries.sort(key=lambda e: (-e.priority, -e.entry_id))
+        return entry
+
+    def remove(self, flt: Filter, priority: Optional[int] = None) -> int:
+        """Remove rules with this exact filter (and priority, if given)."""
+        before = len(self._entries)
+        self._entries = [
+            e
+            for e in self._entries
+            if not (e.filter == flt and (priority is None or e.priority == priority))
+        ]
+        return before - len(self._entries)
+
+    def lookup(self, packet: Packet) -> Optional[FlowEntry]:
+        """Highest-priority entry matching ``packet``, or None."""
+        for entry in self._entries:
+            if entry.filter.matches_packet(packet):
+                return entry
+        return None
+
+    def find(self, flt: Filter, priority: Optional[int] = None) -> Optional[FlowEntry]:
+        """The entry with this exact filter (and priority, if given)."""
+        for entry in self._entries:
+            if entry.filter == flt and (priority is None or entry.priority == priority):
+                return entry
+        return None
+
+    def entries_overlapping(self, flt: Filter) -> List[FlowEntry]:
+        """All entries whose filter shares flow space with ``flt``.
+
+        Used by the strict-consistency share operation (§5.2.2) to find
+        "all relevant forwarding entries" to redirect to the controller.
+        """
+        return [e for e in self._entries if e.filter.intersects(flt)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

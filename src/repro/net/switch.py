@@ -1,0 +1,227 @@
+"""The simulated SDN switch.
+
+Models the pieces of an OpenFlow switch the paper's mechanisms depend on:
+
+* a priority flow table (:mod:`repro.net.flowtable`) with per-entry
+  counters;
+* flow-mods that take effect after an installation delay — atomically, per
+  the paper's use of consistent-update mechanisms [27, 35] ("the update is
+  atomic and no packets are lost");
+* packet-out with a bounded sustained rate; §8.1.1 attributes the growth
+  of loss-free move time at high packet rates to precisely this limit;
+* packet-in delivery of matched packets to the controller over a control
+  channel.
+
+The data path is synchronous within the switch (lookup and counter update
+happen at arrival time); propagation towards NFs happens over per-port
+:class:`~repro.net.link.Link` objects, which is where in-flight packets
+live.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.flowspace.filter import Filter
+from repro.net.channel import ControlChannel
+from repro.net.flowtable import FlowEntry, FlowTable
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.sim.core import Event, Simulator
+
+CONTROLLER_PORT = "controller"
+
+
+class Port:
+    """An attachment point: a link plus the receiver at its far end."""
+
+    __slots__ = ("name", "link", "receiver")
+
+    def __init__(self, name: str, link: Link, receiver: Callable[[Packet], None]):
+        self.name = name
+        self.link = link
+        self.receiver = receiver
+
+
+class TableFullError(RuntimeError):
+    """Raised (via the install event) when the flow table is at capacity.
+
+    Hardware tables are finite (TCAM); the paper notes that approaches
+    needing per-flow rules — pipelined fine-grained moves (§5.1.3) and
+    the reroute-only baseline's pinning — "require more forwarding rules
+    in sw". A capacity-limited switch makes that cost concrete.
+    """
+
+
+class Switch:
+    """An OpenFlow-like switch under simulated time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "sw",
+        flowmod_delay_ms: float = 4.0,
+        packet_out_rate_pps: float = 4000.0,
+        control_channel: Optional[ControlChannel] = None,
+        table_capacity: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.table = FlowTable()
+        #: Maximum rules the table holds (None = unbounded, the default).
+        self.table_capacity = table_capacity
+        self.installs_rejected = 0
+        self.flowmod_delay_ms = flowmod_delay_ms
+        self.packet_out_interval_ms = 1000.0 / packet_out_rate_pps
+        self.control_channel = control_channel or ControlChannel(
+            sim, name="%s-ctrl" % name
+        )
+        self._ports: Dict[str, Port] = {}
+        self._packet_in_handler: Optional[Callable[[Packet], None]] = None
+        self._packet_out_queue: Deque[Tuple[Packet, str]] = deque()
+        self._packet_out_busy = False
+        # Data-path statistics.
+        self.received = 0
+        self.forwarded = 0
+        self.table_misses = 0
+        self.packet_outs = 0
+        #: Ordered log of (time, packet_uid, actions) — the ground truth the
+        #: order-preservation property is checked against.
+        self.forward_log: List[Tuple[float, int, Tuple[str, ...]]] = []
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(
+        self, port_name: str, receiver: Callable[[Packet], None], link: Link
+    ) -> None:
+        """Connect ``receiver`` behind ``link`` at ``port_name``."""
+        self._ports[port_name] = Port(port_name, link, receiver)
+
+    def set_packet_in_handler(self, handler: Callable[[Packet], None]) -> None:
+        """Register the controller's packet-in callback."""
+        self._packet_in_handler = handler
+
+    @property
+    def ports(self) -> Sequence[str]:
+        return tuple(self._ports)
+
+    # -- data path ---------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """A packet arrives at the switch from the network."""
+        self.received += 1
+        entry = self.table.lookup(packet)
+        if entry is None:
+            self.table_misses += 1
+            return
+        entry.count(packet)
+        self.forward_log.append((self.sim.now, packet.uid, entry.actions))
+        for action in entry.actions:
+            self._output(packet, action)
+
+    def _output(self, packet: Packet, action: str) -> None:
+        if action == CONTROLLER_PORT:
+            self._send_packet_in(packet)
+            return
+        port = self._ports.get(action)
+        if port is None:
+            raise KeyError("switch %s has no port %r" % (self.name, action))
+        self.forwarded += 1
+        port.link.send(packet, port.receiver)
+
+    def _send_packet_in(self, packet: Packet) -> None:
+        if self._packet_in_handler is None:
+            return
+        self.control_channel.send(
+            packet.size_bytes, self._packet_in_handler, packet
+        )
+
+    # -- control path ------------------------------------------------------------
+
+    def install(
+        self, flt: Filter, actions: Sequence[str], priority: int
+    ) -> Event:
+        """Install a rule; the returned event fires when it takes effect.
+
+        The rule becomes active atomically after the flow-mod delay: until
+        then the old table continues to apply (consistent-update
+        semantics).
+        """
+        done = self.sim.event("flowmod@%s" % self.name)
+        self.sim.schedule(self.flowmod_delay_ms, self._apply_install, flt,
+                          actions, priority, done)
+        return done
+
+    def _apply_install(
+        self, flt: Filter, actions: Sequence[str], priority: int, done: Event
+    ) -> None:
+        replaces_existing = self.table.find(flt, priority) is not None
+        if (
+            self.table_capacity is not None
+            and not replaces_existing
+            and len(self.table) >= self.table_capacity
+        ):
+            self.installs_rejected += 1
+            done.fail(TableFullError(
+                "%s: flow table full (%d rules)" % (self.name,
+                                                    self.table_capacity)
+            ))
+            return
+        self.table.install(flt, priority, actions, self.sim.now)
+        done.trigger()
+
+    def remove(self, flt: Filter, priority: Optional[int] = None) -> Event:
+        """Remove rule(s); the returned event fires when the removal applies."""
+        done = self.sim.event("flowdel@%s" % self.name)
+        self.sim.schedule(self.flowmod_delay_ms, self._apply_remove, flt,
+                          priority, done)
+        return done
+
+    def _apply_remove(self, flt: Filter, priority: Optional[int], done: Event) -> None:
+        self.table.remove(flt, priority)
+        done.trigger()
+
+    def packet_out(self, packet: Packet, port_name: str) -> None:
+        """Emit ``packet`` from ``port_name``, subject to the sustained rate cap."""
+        self._packet_out_queue.append((packet, port_name))
+        if not self._packet_out_busy:
+            self._packet_out_busy = True
+            self.sim.schedule(self.packet_out_interval_ms, self._drain_packet_out)
+
+    def packet_out_barrier(self) -> Event:
+        """An event that fires once every *already queued* packet-out has
+        been emitted (OpenFlow barrier semantics over the packet-out path).
+
+        Later packet-outs do not extend the wait: the barrier is a marker
+        in the queue, so it cannot be starved by a high event rate.
+        """
+        evt = self.sim.event("pktout-barrier@%s" % self.name)
+        if not self._packet_out_queue and not self._packet_out_busy:
+            evt.trigger()
+            return evt
+        self._packet_out_queue.append((None, evt))
+        if not self._packet_out_busy:
+            self._packet_out_busy = True
+            self.sim.schedule(self.packet_out_interval_ms, self._drain_packet_out)
+        return evt
+
+    def _drain_packet_out(self) -> None:
+        while self._packet_out_queue and self._packet_out_queue[0][0] is None:
+            _marker, barrier_event = self._packet_out_queue.popleft()
+            barrier_event.trigger()
+        if not self._packet_out_queue:
+            self._packet_out_busy = False
+            return
+        packet, port_name = self._packet_out_queue.popleft()
+        self.packet_outs += 1
+        self.forward_log.append((self.sim.now, packet.uid, (port_name,)))
+        self._output(packet, port_name)
+        self.sim.schedule(self.packet_out_interval_ms, self._drain_packet_out)
+
+    def counters(self, flt: Filter, priority: Optional[int] = None) -> Tuple[int, int]:
+        """(packets, bytes) for the entry with this exact filter."""
+        entry = self.table.find(flt, priority)
+        if entry is None:
+            return (0, 0)
+        return (entry.packets, entry.bytes)

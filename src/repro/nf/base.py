@@ -1,0 +1,387 @@
+"""The network-function base class.
+
+:class:`NetworkFunction` provides everything §4 of the paper asks an NF
+to support, without constraining how subclasses organize their internal
+state:
+
+* a single-threaded packet-processing loop with an input queue (the "NIC
+  and operating system buffers" whose draining races against state moves);
+* the event machinery of §4.3 (``enableEvents`` / ``disableEvents`` with
+  process/buffer/drop dispositions and the do-not-buffer / do-not-drop
+  mark overrides);
+* timed export/import/delete operations for each state scope, run as
+  simulator processes so per-chunk serialization overlaps packet
+  processing (which is inflated while a transfer is active, §8.2.1);
+* the late-locking hook used by the early-release optimization (§5.1.3).
+
+Subclasses implement five handlers — :meth:`process_packet`,
+:meth:`state_keys`, :meth:`export_chunk`, :meth:`import_chunk`,
+:meth:`delete_by_flowid` — mirroring how the prototype added NF-specific
+handlers to Bro, PRADS, Squid, and iptables (§7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.flowspace.filter import Filter, FlowId
+from repro.nf.costs import NFCostModel
+from repro.nf.events import EventAction, EventRule, PacketEvent
+from repro.nf.state import Scope, StateChunk
+from repro.net.packet import Packet
+from repro.sim.core import Event, Simulator
+
+
+class NFCrash(Exception):
+    """Raised by an NF's packet handler when required state is missing.
+
+    Table 1's "ignore multi-flow state" configuration makes Squid crash;
+    this exception is how that failure mode surfaces in the reproduction.
+    """
+
+
+class NetworkFunction:
+    """Base class for all simulated NFs."""
+
+    #: Flowid fields this NF considers when matching *state* against a
+    #: filter (§4.2: "only fields relevant to the state are matched").
+    #: Subclasses narrow this per scope via :meth:`relevant_fields`.
+    DEFAULT_RELEVANT_FIELDS = ("nw_src", "nw_dst", "nw_proto", "tp_src", "tp_dst")
+
+    def __init__(self, sim: Simulator, name: str, costs: NFCostModel) -> None:
+        self.sim = sim
+        self.name = name
+        self.costs = costs
+        self.failed = False
+        self.failure_reason: Optional[str] = None
+        # Input path.
+        self._queue: Deque[Packet] = deque()
+        self._busy = False
+        # Event machinery.
+        self._event_rules: List[EventRule] = []
+        self._rule_buffers: Dict[int, List[Packet]] = {}
+        self.event_sink: Optional[Callable[[PacketEvent], None]] = None
+        self.event_channel = None  # ControlChannel towards the controller
+        # Transfer bookkeeping.
+        self._transfers_active = 0
+        self._op_tail: Optional[Event] = None
+        # Statistics and logs.
+        self.packets_received = 0
+        self.packets_processed = 0
+        self.packets_dropped_by_event = 0
+        self.packets_dropped_silent = 0
+        self.packets_buffered_by_event = 0
+        self.packets_lost_to_failure = 0
+        self.events_raised = 0
+        #: (completion_time, packet_uid) for every packet actually processed.
+        self.processing_log: List[Tuple[float, int]] = []
+        #: (time, packet_uid) for every packet held by a BUFFER rule.
+        self.buffered_log: List[Tuple[float, int]] = []
+        #: per-packet processing durations (for §8.2.1's overhead metric).
+        self.proc_durations: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------------ wiring
+
+    def connect_controller(self, channel, event_sink) -> None:
+        """Attach the control channel used for raising events."""
+        self.event_channel = channel
+        self.event_sink = event_sink
+
+    # --------------------------------------------------------------- data path
+
+    def receive(self, packet: Packet) -> None:
+        """Entry point from the network: enqueue and kick the drain loop."""
+        self.packets_received += 1
+        if self.failed:
+            self.packets_lost_to_failure += 1
+            return
+        self._queue.append(packet)
+        self._kick()
+
+    def _kick(self) -> None:
+        if not self._busy:
+            self._busy = True
+            self.sim.schedule(0.0, self._drain)
+
+    def _drain(self) -> None:
+        if self.failed:
+            self.packets_lost_to_failure += len(self._queue)
+            self._queue.clear()
+            self._busy = False
+            return
+        if not self._queue:
+            self._busy = False
+            return
+        packet = self._queue.popleft()
+        rule = self._match_rule(packet)
+        if rule is None:
+            self._begin_processing(packet, None)
+            return
+        action = rule.effective_action(packet)
+        if action is EventAction.PROCESS:
+            self._begin_processing(packet, None if rule.silent else rule)
+        elif action is EventAction.DROP:
+            self.packets_dropped_by_event += 1
+            if rule.silent:
+                self.packets_dropped_silent += 1
+                self.sim.schedule(self.costs.disposition_ms, self._drain)
+            else:
+                self._raise_event(packet, EventAction.DROP)
+                self.sim.schedule(
+                    self.costs.disposition_ms + self.costs.event_raise_ms,
+                    self._drain,
+                )
+        else:  # BUFFER
+            self.packets_buffered_by_event += 1
+            self.buffered_log.append((self.sim.now, packet.uid))
+            self._rule_buffers.setdefault(id(rule), []).append(packet)
+            self.sim.schedule(self.costs.disposition_ms, self._drain)
+
+    def _begin_processing(self, packet: Packet, rule: Optional[EventRule]) -> None:
+        duration = self.costs.effective_proc_ms(self._transfers_active > 0)
+        self.sim.schedule(duration, self._finish_processing, packet, rule, duration)
+
+    def _finish_processing(
+        self, packet: Packet, rule: Optional[EventRule], duration: float
+    ) -> None:
+        try:
+            self.process_packet(packet)
+        except NFCrash as crash:
+            self.failed = True
+            self.failure_reason = str(crash)
+            self._queue.clear()
+            self._busy = False
+            return
+        self.packets_processed += 1
+        self.processing_log.append((self.sim.now, packet.uid))
+        self.proc_durations.append((self.sim.now, duration))
+        if rule is not None:
+            self._raise_event(packet, EventAction.PROCESS)
+        self._drain()
+
+    # ----------------------------------------------------------- event machinery
+
+    def _match_rule(self, packet: Packet) -> Optional[EventRule]:
+        for rule in reversed(self._event_rules):
+            if rule.filter.matches_packet(packet):
+                return rule
+        return None
+
+    def _raise_event(self, packet: Packet, action: EventAction) -> None:
+        self.events_raised += 1
+        if self.event_sink is None:
+            return
+        event = PacketEvent(self.name, packet, action, self.sim.now)
+        if self.event_channel is not None:
+            self.event_channel.send(event.size_bytes, self.event_sink, event)
+        else:
+            self.sim.schedule(0.0, self.event_sink, event)
+
+    def sb_enable_events(
+        self, flt: Filter, action: EventAction, silent: bool = False
+    ) -> None:
+        """``enableEvents(filter, action)``: add or update an event rule."""
+        for rule in self._event_rules:
+            if rule.filter == flt:
+                rule.action = action
+                rule.silent = silent
+                return
+        self._event_rules.append(EventRule(flt, action, silent=silent))
+
+    def sb_disable_events(self, flt: Filter) -> None:
+        """``disableEvents(filter)``: drop the rule and release its buffer.
+
+        Buffered packets are released to the head of the input queue in
+        the order they were buffered ("any buffered packets are released
+        to the NF for processing when events are disabled").
+        """
+        kept: List[EventRule] = []
+        released: List[Packet] = []
+        for rule in self._event_rules:
+            if rule.filter == flt:
+                released.extend(self._rule_buffers.pop(id(rule), []))
+            else:
+                kept.append(rule)
+        self._event_rules = kept
+        for packet in reversed(released):
+            self._queue.appendleft(packet)
+        if released:
+            self._kick()
+
+    def sb_disable_events_covered(self, flt: Filter) -> None:
+        """Disable every rule whose filter is subsumed by ``flt``.
+
+        Convenience for cleaning up the per-flow rules late locking
+        creates (§5.1.3) with a single control message.
+        """
+        for rule in list(self._event_rules):
+            if flt.covers(rule.filter) or rule.filter == flt:
+                self.sb_disable_events(rule.filter)
+
+    @property
+    def event_rule_count(self) -> int:
+        return len(self._event_rules)
+
+    def buffered_packet_count(self) -> int:
+        """Packets currently held by BUFFER-action rules."""
+        return sum(len(buf) for buf in self._rule_buffers.values())
+
+    # -------------------------------------------------- southbound state transfer
+
+    def _chain_operation(self) -> Tuple[Optional[Event], Event]:
+        """FIFO-serialize transfer operations on this NF (one CPU)."""
+        previous = self._op_tail
+        gate = self.sim.event("op-gate@%s" % self.name)
+        self._op_tail = gate
+        return previous, gate
+
+    def sb_get(
+        self,
+        scope: Scope,
+        flt: Filter,
+        stream: Optional[Callable[[StateChunk], None]] = None,
+        lock_per_chunk: bool = False,
+        lock_action: EventAction = EventAction.DROP,
+        lock_silent: bool = False,
+        compress: bool = False,
+    ):
+        """Run ``get{Perflow,Multiflow,Allflows}`` as a timed process.
+
+        The process result is the full chunk list. If ``stream`` is given,
+        each chunk is also handed to it the moment serialization finishes
+        (the parallelizing optimization of §5.1.3). ``lock_per_chunk``
+        implements late locking: an event rule for the chunk's flow is
+        installed immediately before that chunk is serialized.
+        """
+        return self.sim.spawn(
+            self._get_process(
+                scope, flt, stream, lock_per_chunk, lock_action, lock_silent,
+                compress,
+            ),
+            name="get-%s@%s" % (scope.value, self.name),
+        )
+
+    def _get_process(
+        self, scope, flt, stream, lock_per_chunk, lock_action, lock_silent,
+        compress=False,
+    ):
+        previous, gate = self._chain_operation()
+        if previous is not None and not previous.triggered:
+            yield previous
+        self._transfers_active += 1
+        try:
+            if self.failed:
+                raise NFCrash("%s is down: %s" % (self.name,
+                                                  self.failure_reason))
+            yield self.costs.call_overhead_ms
+            chunks: List[StateChunk] = []
+            for key in self.state_keys(scope, flt):
+                chunk = self.export_chunk(scope, key)
+                if chunk is None:
+                    continue
+                if lock_per_chunk and chunk.flowid is not None:
+                    self.sb_enable_events(
+                        Filter(chunk.flowid.fields, symmetric=True),
+                        lock_action,
+                        silent=lock_silent,
+                    )
+                yield self.costs.serialize_ms(chunk.size_bytes)
+                if compress:
+                    yield self.costs.compress_ms(chunk.size_bytes)
+                    chunk.compressed = True
+                chunks.append(chunk)
+                if stream is not None:
+                    stream(chunk)
+            return chunks
+        finally:
+            self._transfers_active -= 1
+            gate.trigger()
+
+    def sb_put(self, chunks: Iterable[StateChunk]):
+        """Run ``put{Perflow,Multiflow,Allflows}`` as a timed process."""
+        return self.sim.spawn(
+            self._put_process(list(chunks)), name="put@%s" % self.name
+        )
+
+    def _put_process(self, chunks: List[StateChunk]):
+        previous, gate = self._chain_operation()
+        if previous is not None and not previous.triggered:
+            yield previous
+        self._transfers_active += 1
+        try:
+            if self.failed:
+                raise NFCrash("%s is down: %s" % (self.name,
+                                                  self.failure_reason))
+            for chunk in chunks:
+                if chunk.compressed:
+                    yield self.costs.decompress_ms(chunk.size_bytes)
+                yield self.costs.deserialize_ms(chunk.size_bytes)
+                self.import_chunk(chunk)
+            return len(chunks)
+        finally:
+            self._transfers_active -= 1
+            gate.trigger()
+
+    def sb_delete(self, scope: Scope, flowids: Iterable[FlowId]):
+        """Run ``del{Perflow,Multiflow}`` as a timed process."""
+        return self.sim.spawn(
+            self._delete_process(scope, list(flowids)), name="del@%s" % self.name
+        )
+
+    def _delete_process(self, scope: Scope, flowids: List[FlowId]):
+        previous, gate = self._chain_operation()
+        if previous is not None and not previous.triggered:
+            yield previous
+        try:
+            yield self.costs.call_overhead_ms
+            removed = 0
+            for flowid in flowids:
+                yield self.costs.delete_ms
+                removed += self.delete_by_flowid(scope, flowid)
+            return removed
+        finally:
+            gate.trigger()
+
+    # ----------------------------------------------------- NF-specific handlers
+
+    def process_packet(self, packet: Packet) -> None:
+        """Apply this NF's packet-processing logic (state updates happen here)."""
+        raise NotImplementedError
+
+    def state_keys(self, scope: Scope, flt: Filter) -> List[Any]:
+        """Keys of all state chunks of ``scope`` matching ``flt``.
+
+        Keys are opaque to the framework; they only need to be accepted by
+        :meth:`export_chunk`. Implementations should apply §4.2's
+        relevant-fields rule when matching.
+        """
+        raise NotImplementedError
+
+    def export_chunk(self, scope: Scope, key: Any) -> Optional[StateChunk]:
+        """Serialize one chunk; None if the key vanished since enumeration."""
+        raise NotImplementedError
+
+    def import_chunk(self, chunk: StateChunk) -> None:
+        """Install or merge one incoming chunk (merging is NF-specific)."""
+        raise NotImplementedError
+
+    def delete_by_flowid(self, scope: Scope, flowid: FlowId) -> int:
+        """Remove state identified by ``flowid``; returns chunks removed."""
+        raise NotImplementedError
+
+    def relevant_fields(self, scope: Scope) -> Tuple[str, ...]:
+        """Filter fields meaningful for state of ``scope`` at this NF."""
+        return self.DEFAULT_RELEVANT_FIELDS
+
+    # ------------------------------------------------------------------ helpers
+
+    def average_proc_ms(self, since: float = 0.0) -> float:
+        """Mean per-packet processing duration since time ``since``."""
+        samples = [d for (t, d) in self.proc_durations if t >= since]
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<%s %s>" % (type(self).__name__, self.name)

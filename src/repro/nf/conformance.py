@@ -1,0 +1,180 @@
+"""Southbound-contract conformance checking for NF implementations.
+
+OpenNF deliberately leaves state gathering and merging to each NF
+(§4.2: "State merging must be implemented by individual NFs"). That
+freedom comes with obligations the control plane relies on; this module
+checks them mechanically so a new NF can be validated before it is
+trusted inside move/copy/share:
+
+1.  **Enumeration soundness** — every key from ``state_keys`` exports a
+    chunk of the requested scope, tagged with a flowid that the original
+    filter matches (wildcard excepted).
+2.  **Roundtrip fidelity** — exporting a chunk and importing it into a
+    fresh instance reproduces a chunk with equal data (state survives a
+    move byte-for-byte).
+3.  **Delete completeness** — after ``delete_by_flowid`` of every
+    enumerated key, nothing remains under the wildcard filter.
+4.  **Import idempotence (multi-flow)** — importing the same multi-flow
+    chunk twice equals importing it once (required for the re-copying
+    eventual-consistency pattern of §5.2.1 to converge).
+5.  **Wildcard totality** — a wildcard filter enumerates at least as
+    much as any specific filter.
+
+Use :func:`check_nf_conformance` in a test::
+
+    report = check_nf_conformance(lambda sim, name: MyNF(sim, name),
+                                  traffic=my_packets)
+    assert report.ok, report.failures
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.flowspace.filter import Filter
+from repro.nf.state import Scope
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a conformance run."""
+
+    checks_run: int = 0
+    failures: List[str] = field(default_factory=list)
+    #: scope -> number of chunks exercised
+    chunks_seen: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def _fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    def _check(self, condition: bool, message: str) -> None:
+        self.checks_run += 1
+        if not condition:
+            self._fail(message)
+
+
+def _default_traffic() -> List[Packet]:
+    from repro.flowspace.fivetuple import FiveTuple
+
+    packets: List[Packet] = []
+    for index in range(8):
+        flow = FiveTuple(
+            "10.0.1.%d" % (index + 1), 20000 + index, "203.0.113.5", 80
+        )
+        packets.append(Packet(flow, tcp_flags=("SYN",)))
+        packets.append(Packet(flow, tcp_flags=("ACK",),
+                              payload="GET /x HTTP/1.1\r\n\r\n"))
+    return packets
+
+
+def check_nf_conformance(
+    factory: Callable[[Simulator, str], Any],
+    traffic: Optional[Sequence[Packet]] = None,
+    scopes: Sequence[Scope] = (Scope.PERFLOW, Scope.MULTIFLOW, Scope.ALLFLOWS),
+) -> ConformanceReport:
+    """Run the southbound conformance battery against an NF factory."""
+    report = ConformanceReport()
+    sim = Simulator()
+    nf = factory(sim, "conformance-src")
+    for packet in (traffic if traffic is not None else _default_traffic()):
+        nf.receive(packet)
+    sim.run()
+
+    wildcard = Filter.wildcard()
+    for scope in scopes:
+        keys = nf.state_keys(scope, wildcard)
+        report.chunks_seen[scope.value] = len(keys)
+        fresh = factory(sim, "conformance-dst")
+        exported = []
+        for key in keys:
+            chunk = nf.export_chunk(scope, key)
+            report._check(
+                chunk is not None,
+                "%s: state_keys returned %r but export_chunk gave None"
+                % (scope.value, key),
+            )
+            if chunk is None:
+                continue
+            report._check(
+                chunk.scope is scope,
+                "%s: chunk for %r tagged with scope %s"
+                % (scope.value, key, chunk.scope.value),
+            )
+            if chunk.flowid is not None:
+                report._check(
+                    wildcard.matches_flowid(
+                        chunk.flowid, nf.relevant_fields(scope)
+                    ),
+                    "%s: exported flowid %r does not match the wildcard"
+                    % (scope.value, chunk.flowid),
+                )
+            exported.append(chunk)
+            fresh.import_chunk(chunk)
+
+        # Roundtrip fidelity: re-export from the fresh instance.
+        fresh_keys = fresh.state_keys(scope, wildcard)
+        distinct = {_chunk_identity(c) for c in exported}
+        report._check(
+            len(fresh_keys) == len(distinct),
+            "%s: imported %d distinct chunks but fresh instance "
+            "enumerates %d" % (scope.value, len(distinct), len(fresh_keys)),
+        )
+        fresh_data = {}
+        for key in fresh_keys:
+            chunk = fresh.export_chunk(scope, key)
+            if chunk is not None:
+                fresh_data[_chunk_identity(chunk)] = chunk.data
+        for chunk in exported:
+            identity = _chunk_identity(chunk)
+            report._check(
+                identity in fresh_data,
+                "%s: chunk %r lost across import/export" % (scope.value,
+                                                            identity),
+            )
+            if identity in fresh_data:
+                report._check(
+                    fresh_data[identity] == chunk.data,
+                    "%s: chunk %r mutated across import/export"
+                    % (scope.value, identity),
+                )
+
+        # Import idempotence for multi-flow state.
+        if scope is Scope.MULTIFLOW and exported:
+            for chunk in exported:
+                fresh.import_chunk(chunk)  # second import
+            for key in fresh.state_keys(scope, wildcard):
+                twice = fresh.export_chunk(scope, key)
+                if twice is None:
+                    continue
+                identity = _chunk_identity(twice)
+                if identity in fresh_data:
+                    report._check(
+                        twice.data == fresh_data[identity],
+                        "multiflow: double import of %r is not idempotent"
+                        % (identity,),
+                    )
+
+        # Delete completeness (per-flow and multi-flow only: all-flows
+        # state "is always relevant", §4.2 — there is no delAllflows).
+        if scope is not Scope.ALLFLOWS:
+            for chunk in exported:
+                if chunk.flowid is not None:
+                    nf.delete_by_flowid(scope, chunk.flowid)
+            report._check(
+                nf.state_keys(scope, wildcard) == [],
+                "%s: state remains after deleting every flowid" % scope.value,
+            )
+    return report
+
+
+def _chunk_identity(chunk) -> str:
+    if chunk.flowid is None:
+        return "<allflows>"
+    return repr(chunk.flowid)

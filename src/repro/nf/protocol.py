@@ -1,0 +1,88 @@
+"""Southbound wire protocol: JSON control messages.
+
+"The controller and NFs exchange JSON messages to invoke southbound
+functions, provide function results, and send events" (§7 of the
+paper). This module defines that message vocabulary and its encoding,
+so control-message sizes on the channels are derived from actual
+content rather than constants — a filter with many fields genuinely
+costs more bytes than a bare wildcard.
+
+Message kinds::
+
+    {"op": "getPerflow",  "filter": {...}, "opts": {...}}
+    {"op": "putPerflow",  "chunks": N}            (chunks ride separately)
+    {"op": "delPerflow",  "flowids": [...]}
+    {"op": "enableEvents", "filter": {...}, "action": "drop"}
+    {"op": "disableEvents", "filter": {...}}
+    {"op": "response", "call": "...", "status": "ok" | "error", ...}
+    {"op": "event", "nf": "...", "action": "...", "packet": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.flowspace.filter import Filter, FlowId
+
+#: Fixed framing overhead per message (length prefix + TCP/IP headers
+#: amortized), matching the prototype's ≈128-byte control messages for
+#: simple calls.
+FRAME_OVERHEAD_BYTES = 64
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Encode one control message to its wire form."""
+    return json.dumps(message, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def decode(raw: bytes) -> Dict[str, Any]:
+    """Decode one control message from its wire form."""
+    return json.loads(raw.decode("utf-8"))
+
+
+def message_size(message: Dict[str, Any]) -> int:
+    """Wire size of a message including framing."""
+    return len(encode(message)) + FRAME_OVERHEAD_BYTES
+
+
+# --------------------------------------------------------------- constructors
+
+
+def get_request(call: str, flt: Filter, **opts: Any) -> Dict[str, Any]:
+    """A get{Perflow,Multiflow,Allflows} request."""
+    message: Dict[str, Any] = {"op": call, "filter": flt.to_dict()}
+    enabled = {key: value for key, value in opts.items() if value}
+    if enabled:
+        message["opts"] = enabled
+    return message
+
+
+def put_request(call: str, chunk_count: int) -> Dict[str, Any]:
+    """A put* request header (chunk payloads are accounted separately)."""
+    return {"op": call, "chunks": chunk_count}
+
+
+def delete_request(call: str, flowids: Iterable[FlowId]) -> Dict[str, Any]:
+    """A del* request carrying the flowids to remove."""
+    return {"op": call, "flowids": [fid.to_dict() for fid in flowids]}
+
+
+def events_request(
+    call: str, flt: Filter, action: Optional[str] = None
+) -> Dict[str, Any]:
+    """An enableEvents/disableEvents request."""
+    message: Dict[str, Any] = {"op": call, "filter": flt.to_dict()}
+    if action is not None:
+        message["action"] = action
+    return message
+
+
+def response(call: str, status: str = "ok", **extra: Any) -> Dict[str, Any]:
+    """A response frame for any call."""
+    message: Dict[str, Any] = {"op": "response", "call": call,
+                               "status": status}
+    message.update(extra)
+    return message

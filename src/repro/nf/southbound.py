@@ -1,0 +1,283 @@
+"""Controller-side southbound API client (§4.2–4.3).
+
+:class:`NFClient` is how the controller talks to one NF instance. Each
+call is an RPC over a pair of control channels (request and response
+directions), with message sizes derived from the JSON encoding of the
+payload — so moving many or bulky chunks costs proportionally more, as
+in the prototype.
+
+Method names follow the paper's API:
+``get_perflow`` / ``put_perflow`` / ``del_perflow``,
+``get_multiflow`` / ``put_multiflow`` / ``del_multiflow``,
+``get_allflows`` / ``put_allflows``, and
+``enable_events`` / ``disable_events``. Every call returns a
+:class:`~repro.sim.core.Event` that triggers with the result once the
+operation (including NF-side processing time) completes.
+
+``get_*`` accept a ``stream`` callback: when provided, the NF ships each
+chunk to the controller the moment it is serialized instead of batching
+the full result — the parallelizing optimization of §5.1.3.
+``lock_per_chunk`` enables late locking for the early-release
+optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.flowspace.filter import Filter, FlowId
+from repro.net.channel import ControlChannel
+from repro.nf.base import NetworkFunction
+from repro.nf.events import EventAction
+from repro.nf import protocol
+from repro.nf.state import Scope, StateChunk, chunks_total_bytes, chunks_wire_bytes
+from repro.sim.core import Event, Simulator
+
+#: Fallback size for small fixed messages (acks, list requests).
+REQUEST_BYTES = 128
+#: Per-chunk framing overhead when chunks travel in a response.
+CHUNK_OVERHEAD_BYTES = 74
+
+
+class NFClient:
+    """RPC stub for one NF instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nf: NetworkFunction,
+        to_nf: Optional[ControlChannel] = None,
+        from_nf: Optional[ControlChannel] = None,
+    ) -> None:
+        self.sim = sim
+        self.nf = nf
+        self.to_nf = to_nf or ControlChannel(sim, name="ctrl->%s" % nf.name)
+        self.from_nf = from_nf or ControlChannel(sim, name="%s->ctrl" % nf.name)
+
+    @property
+    def name(self) -> str:
+        return self.nf.name
+
+    # ------------------------------------------------------------------- get
+
+    def _get(
+        self,
+        scope: Scope,
+        flt: Filter,
+        stream: Optional[Callable[[StateChunk], None]],
+        lock_per_chunk: bool,
+        lock_silent: bool = False,
+        compress: bool = False,
+        raw_stream: Optional[Callable[[StateChunk], None]] = None,
+    ) -> Event:
+        """``raw_stream`` receives chunks NF-side, with no channel hop:
+        the caller ships them itself (peer-to-peer transfer, paper
+        footnote 10). Mutually exclusive with ``stream``."""
+        done = self.sim.event("get-%s@%s" % (scope.value, self.nf.name))
+
+        def stream_back(chunk: StateChunk) -> None:
+            if stream is not None:
+                self.from_nf.send(
+                    chunk.wire_size_bytes + CHUNK_OVERHEAD_BYTES, stream, chunk
+                )
+
+        def respond(event: Event) -> None:
+            if not event.ok:
+                self.from_nf.send(
+                    REQUEST_BYTES, lambda: done.fail(event.exception)
+                )
+                return
+            chunks: List[StateChunk] = event.value
+            if stream is not None or raw_stream is not None:
+                # Chunks already streamed; just close the call.
+                self.from_nf.send(REQUEST_BYTES, done.trigger, chunks)
+            else:
+                size = chunks_wire_bytes(chunks) + REQUEST_BYTES
+                self.from_nf.send(size, done.trigger, chunks)
+
+        def at_nf() -> None:
+            if raw_stream is not None:
+                nf_stream = raw_stream
+            elif stream is not None:
+                nf_stream = stream_back
+            else:
+                nf_stream = None
+            proc = self.nf.sb_get(
+                scope,
+                flt,
+                stream=nf_stream,
+                lock_per_chunk=lock_per_chunk,
+                lock_silent=lock_silent,
+                compress=compress,
+            )
+            proc.done.add_callback(respond)
+
+        request = protocol.get_request(
+            "get%s" % scope.value.capitalize(),
+            flt,
+            lock_per_chunk=lock_per_chunk,
+            compress=compress,
+            stream=stream is not None or raw_stream is not None,
+        )
+        self.to_nf.send(protocol.message_size(request), at_nf)
+        return done
+
+    def get_perflow(
+        self,
+        flt: Filter,
+        stream: Optional[Callable[[StateChunk], None]] = None,
+        lock_per_chunk: bool = False,
+        lock_silent: bool = False,
+        compress: bool = False,
+        raw_stream: Optional[Callable[[StateChunk], None]] = None,
+    ) -> Event:
+        """``getPerflow(filter)``; triggers with ``List[StateChunk]``."""
+        return self._get(Scope.PERFLOW, flt, stream, lock_per_chunk,
+                         lock_silent, compress, raw_stream)
+
+    def get_multiflow(
+        self,
+        flt: Filter,
+        stream: Optional[Callable[[StateChunk], None]] = None,
+        lock_per_chunk: bool = False,
+        lock_silent: bool = False,
+        compress: bool = False,
+        raw_stream: Optional[Callable[[StateChunk], None]] = None,
+    ) -> Event:
+        """``getMultiflow(filter)``; triggers with ``List[StateChunk]``."""
+        return self._get(Scope.MULTIFLOW, flt, stream, lock_per_chunk,
+                         lock_silent, compress, raw_stream)
+
+    def get_allflows(
+        self,
+        stream: Optional[Callable[[StateChunk], None]] = None,
+        compress: bool = False,
+        raw_stream: Optional[Callable[[StateChunk], None]] = None,
+    ) -> Event:
+        """``getAllflows()``; triggers with ``List[StateChunk]``."""
+        return self._get(Scope.ALLFLOWS, Filter.wildcard(), stream, False,
+                         False, compress, raw_stream)
+
+    def list_flowids(self, scope: Scope, flt: Filter) -> Event:
+        """Enumerate flowids of matching state without exporting it.
+
+        Not part of the paper's API; a lightweight helper used by the
+        reroute-only baseline (which needs to pin existing flows) and by
+        diagnostics. Cost: one request/response of control-message size.
+        """
+        done = self.sim.event("list@%s" % self.nf.name)
+
+        def at_nf() -> None:
+            keys = self.nf.state_keys(scope, flt)
+            flowids = [key for key in keys if isinstance(key, FlowId)]
+            self.from_nf.send(
+                REQUEST_BYTES + 16 * len(flowids), done.trigger, flowids
+            )
+
+        self.to_nf.send(REQUEST_BYTES, at_nf)
+        return done
+
+    # ------------------------------------------------------------------- put
+
+    def _put(self, chunks: Iterable[StateChunk]) -> Event:
+        chunk_list = list(chunks)
+        done = self.sim.event("put@%s" % self.nf.name)
+
+        def respond(event: Event) -> None:
+            if not event.ok:
+                self.from_nf.send(
+                    REQUEST_BYTES, lambda: done.fail(event.exception)
+                )
+                return
+            self.from_nf.send(REQUEST_BYTES, done.trigger, event.value)
+
+        def at_nf() -> None:
+            proc = self.nf.sb_put(chunk_list)
+            proc.done.add_callback(respond)
+
+        header = protocol.put_request("put", len(chunk_list))
+        size = chunks_wire_bytes(chunk_list) + protocol.message_size(header)
+        self.to_nf.send(size, at_nf)
+        return done
+
+    def put_perflow(self, chunks: Iterable[StateChunk]) -> Event:
+        """``putPerflow(multimap<flowid,chunk>)``; triggers when merged."""
+        return self._put(chunks)
+
+    def put_multiflow(self, chunks: Iterable[StateChunk]) -> Event:
+        """``putMultiflow(...)``; triggers when merged."""
+        return self._put(chunks)
+
+    def put_allflows(self, chunks: Iterable[StateChunk]) -> Event:
+        """``putAllflows(list<chunk>)``; triggers when merged."""
+        return self._put(chunks)
+
+    # ----------------------------------------------------------------- delete
+
+    def _delete(self, scope: Scope, flowids: Iterable[FlowId]) -> Event:
+        ids = list(flowids)
+        done = self.sim.event("del@%s" % self.nf.name)
+
+        def respond(event: Event) -> None:
+            self.from_nf.send(REQUEST_BYTES, done.trigger, event.value)
+
+        def at_nf() -> None:
+            proc = self.nf.sb_delete(scope, ids)
+            proc.done.add_callback(respond)
+
+        request = protocol.delete_request(
+            "del%s" % scope.value.capitalize(), ids
+        )
+        self.to_nf.send(protocol.message_size(request), at_nf)
+        return done
+
+    def del_perflow(self, flowids: Iterable[FlowId]) -> Event:
+        """``delPerflow(list<flowid>)``."""
+        return self._delete(Scope.PERFLOW, flowids)
+
+    def del_multiflow(self, flowids: Iterable[FlowId]) -> Event:
+        """``delMultiflow(list<flowid>)``."""
+        return self._delete(Scope.MULTIFLOW, flowids)
+
+    # ----------------------------------------------------------------- events
+
+    def enable_events(
+        self, flt: Filter, action: EventAction, silent: bool = False
+    ) -> Event:
+        """``enableEvents(filter, action)``; triggers when the rule is live."""
+        done = self.sim.event("enableEvents@%s" % self.nf.name)
+
+        def at_nf() -> None:
+            self.nf.sb_enable_events(flt, action, silent=silent)
+            self.from_nf.send(REQUEST_BYTES, done.trigger, None)
+
+        request = protocol.events_request("enableEvents", flt, action.value)
+        self.to_nf.send(protocol.message_size(request), at_nf)
+        return done
+
+    def disable_events(self, flt: Filter) -> Event:
+        """``disableEvents(filter)``; triggers when the rule is removed."""
+        done = self.sim.event("disableEvents@%s" % self.nf.name)
+
+        def at_nf() -> None:
+            self.nf.sb_disable_events(flt)
+            self.from_nf.send(REQUEST_BYTES, done.trigger, None)
+
+        request = protocol.events_request("disableEvents", flt)
+        self.to_nf.send(protocol.message_size(request), at_nf)
+        return done
+
+    def disable_events_covered(self, flt: Filter) -> Event:
+        """Disable every rule whose filter falls under ``flt``.
+
+        One control message that cleans up both a whole-filter rule and
+        any per-flow rules late locking created (§5.1.3).
+        """
+        done = self.sim.event("disableEventsCovered@%s" % self.nf.name)
+
+        def at_nf() -> None:
+            self.nf.sb_disable_events_covered(flt)
+            self.from_nf.send(REQUEST_BYTES, done.trigger, None)
+
+        self.to_nf.send(REQUEST_BYTES, at_nf)
+        return done

@@ -1,0 +1,14 @@
+"""NF implementations: the four NFs the prototype modified, plus extras.
+
+* :mod:`repro.nfs.monitor` — PRADS-like asset monitor (per-flow
+  connections, per-host assets, global stats).
+* :mod:`repro.nfs.ids` — Bro-like IDS (connections + analyzers, scan
+  counters, malware/weird/browser detection, conn.log).
+* :mod:`repro.nfs.proxy` — Squid-like caching proxy (client
+  transactions, multi-flow object cache).
+* :mod:`repro.nfs.nat` — iptables-like NAT (conntrack, per-flow only).
+* :mod:`repro.nfs.redup` — redundancy-elimination encoder/decoder
+  (all-flows fingerprint store; order-sensitive).
+* :mod:`repro.nfs.dummy` — trace-replaying NF for controller
+  scalability experiments (Fig. 13).
+"""

@@ -1,0 +1,21 @@
+"""Bro-like IDS: connections + analyzers, scan counters, detections."""
+
+from repro.nfs.ids.connection import Connection
+from repro.nfs.ids.http import HttpAnalyzer, HttpRequest
+from repro.nfs.ids.ids import Alert, IntrusionDetector
+from repro.nfs.ids.scan import DEFAULT_SCAN_THRESHOLD, ScanRecord
+from repro.nfs.ids.signatures import SignatureDB, is_outdated_browser
+from repro.nfs.ids.tcp import TcpReassembler
+
+__all__ = [
+    "Alert",
+    "Connection",
+    "DEFAULT_SCAN_THRESHOLD",
+    "HttpAnalyzer",
+    "HttpRequest",
+    "IntrusionDetector",
+    "ScanRecord",
+    "SignatureDB",
+    "TcpReassembler",
+    "is_outdated_browser",
+]

@@ -1,0 +1,112 @@
+"""FTP control-channel analysis: the §5.1.2 cross-flow ordering witness.
+
+The paper's order-preserving property spans flows "for moves including
+multi-flow state (e.g. process an FTP get command before the SYN for
+the new transfer connection)". The IDS models exactly that: the
+control connection's ``RETR`` command registers an *expected data
+connection* — multi-flow state keyed by the host pair — and a data-
+connection SYN either consumes a pending expectation or raises the
+``ftp_data_without_command`` weird. Re-ordering the command and the
+SYN across a state move produces the false alarm; an order-preserving
+move (with the multi-flow expectations moved alongside) does not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+FTP_CONTROL_PORT = 21
+FTP_DATA_PORT = 20
+
+
+class FtpControlAnalyzer:
+    """Incremental parser for one FTP control connection (client side)."""
+
+    def __init__(
+        self, on_retr: Optional[Callable[[str], None]] = None
+    ) -> None:
+        self.on_retr = on_retr
+        self._buffer = ""
+        self.commands: List[str] = []
+        self.retrievals: List[str] = []
+
+    def feed(self, data: str) -> None:
+        """Consume reassembled client-side bytes."""
+        self._buffer += data
+        while "\r\n" in self._buffer:
+            line, self._buffer = self._buffer.split("\r\n", 1)
+            line = line.strip()
+            if not line:
+                continue
+            self.commands.append(line)
+            verb, _, argument = line.partition(" ")
+            if verb.upper() == "RETR":
+                self.retrievals.append(argument)
+                if self.on_retr is not None:
+                    self.on_retr(argument)
+
+    # ------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "buffer": self._buffer,
+            "commands": list(self.commands),
+            "retrievals": list(self.retrievals),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FtpControlAnalyzer":
+        analyzer = cls()
+        analyzer._buffer = data["buffer"]
+        analyzer.commands = list(data["commands"])
+        analyzer.retrievals = list(data["retrievals"])
+        return analyzer
+
+
+class FtpExpectation:
+    """Multi-flow state: pending data connections for one host pair."""
+
+    __slots__ = ("client_ip", "server_ip", "pending", "consumed", "created_at")
+
+    def __init__(self, client_ip: str, server_ip: str, now: float) -> None:
+        self.client_ip = client_ip
+        self.server_ip = server_ip
+        #: Filenames whose data connections have not yet appeared.
+        self.pending: List[str] = []
+        self.consumed = 0
+        self.created_at = now
+
+    def expect(self, filename: str) -> None:
+        self.pending.append(filename)
+
+    def consume(self) -> Optional[str]:
+        """A data connection appeared; pop its expectation (FIFO)."""
+        if not self.pending:
+            return None
+        self.consumed += 1
+        return self.pending.pop(0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "ftp",
+            "client_ip": self.client_ip,
+            "server_ip": self.server_ip,
+            "pending": list(self.pending),
+            "consumed": self.consumed,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FtpExpectation":
+        record = cls(data["client_ip"], data["server_ip"], data["created_at"])
+        record.pending = list(data["pending"])
+        record.consumed = data["consumed"]
+        return record
+
+    def merge_from(self, data: Dict[str, Any]) -> None:
+        """Union of pending files (idempotent), max of the counter."""
+        for filename in data["pending"]:
+            if filename not in self.pending:
+                self.pending.append(filename)
+        self.consumed = max(self.consumed, data["consumed"])
+        self.created_at = min(self.created_at, data["created_at"])

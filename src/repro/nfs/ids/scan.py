@@ -1,0 +1,69 @@
+"""Port-scan detection state: the IDS's multi-flow counters.
+
+For each source host the detector keeps the set of distinct
+``(target_ip, target_port)`` pairs it attempted (Figure 1's
+"host-specific connection counters"). The record is multi-flow state —
+every flow from that host updates it — so when flows of one host are
+split across IDS instances, the records must be copied/shared and, at
+scale-in, merged: the merge is a set union, which is both commutative
+and idempotent (safe under the repeated re-copying of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+#: Distinct targets before a host is flagged as scanning.
+DEFAULT_SCAN_THRESHOLD = 20
+
+
+class ScanRecord:
+    """Per-source-host connection-attempt tracking."""
+
+    __slots__ = ("host", "targets", "alerted", "first_seen", "last_seen")
+
+    def __init__(self, host: str, now: float) -> None:
+        self.host = host
+        self.targets: Set[Tuple[str, int]] = set()
+        self.alerted = False
+        self.first_seen = now
+        self.last_seen = now
+
+    def attempt(self, target_ip: str, target_port: int, now: float) -> None:
+        self.targets.add((target_ip, target_port))
+        self.last_seen = max(self.last_seen, now)
+
+    @property
+    def attempt_count(self) -> int:
+        return len(self.targets)
+
+    def should_alert(self, threshold: int = DEFAULT_SCAN_THRESHOLD) -> bool:
+        return not self.alerted and self.attempt_count >= threshold
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "targets": sorted(["%s:%d" % t for t in self.targets]),
+            "alerted": self.alerted,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScanRecord":
+        record = cls(data["host"], data["first_seen"])
+        record.last_seen = data["last_seen"]
+        record.alerted = data["alerted"]
+        record.targets = {
+            (t.rsplit(":", 1)[0], int(t.rsplit(":", 1)[1]))
+            for t in data["targets"]
+        }
+        return record
+
+    def merge_from(self, data: Dict[str, Any]) -> None:
+        """Union the incoming record into this one."""
+        incoming = ScanRecord.from_dict(data)
+        self.targets |= incoming.targets
+        self.alerted = self.alerted or incoming.alerted
+        self.first_seen = min(self.first_seen, incoming.first_seen)
+        self.last_seen = max(self.last_seen, incoming.last_seen)

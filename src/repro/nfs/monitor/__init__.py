@@ -1,0 +1,6 @@
+"""PRADS-like passive asset monitor (per-flow, multi-flow, all-flows state)."""
+
+from repro.nfs.monitor.assets import AssetRecord, sniff_service
+from repro.nfs.monitor.prads import AssetMonitor, ConnRecord
+
+__all__ = ["AssetMonitor", "AssetRecord", "ConnRecord", "sniff_service"]

@@ -1,0 +1,13 @@
+"""iptables-like NAT (conntrack; per-flow state only)."""
+
+from repro.nfs.nat.conntrack import CLOSED, ESTABLISHED, NEW, ConntrackEntry
+from repro.nfs.nat.nat import FIRST_EXTERNAL_PORT, NetworkAddressTranslator
+
+__all__ = [
+    "CLOSED",
+    "ConntrackEntry",
+    "ESTABLISHED",
+    "FIRST_EXTERNAL_PORT",
+    "NEW",
+    "NetworkAddressTranslator",
+]

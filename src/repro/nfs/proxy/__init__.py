@@ -1,0 +1,20 @@
+"""Squid-like caching proxy (per-flow transactions + multi-flow cache)."""
+
+from repro.nfs.proxy.cache import CacheEntry, ENTRY_METADATA_BYTES
+from repro.nfs.proxy.squid import (
+    CHUNK_BYTES,
+    CachingProxy,
+    Transaction,
+    pull_payload,
+    request_payload,
+)
+
+__all__ = [
+    "CHUNK_BYTES",
+    "CacheEntry",
+    "CachingProxy",
+    "ENTRY_METADATA_BYTES",
+    "Transaction",
+    "pull_payload",
+    "request_payload",
+]

@@ -1,0 +1,10 @@
+"""Redundancy-elimination encoder/decoder (all-flows fingerprint store)."""
+
+from repro.nfs.redup.redup import (
+    RE_TOKEN_HEADER,
+    REDecoder,
+    REEncoder,
+    fingerprint,
+)
+
+__all__ = ["RE_TOKEN_HEADER", "REDecoder", "REEncoder", "fingerprint"]

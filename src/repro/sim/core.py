@@ -1,0 +1,219 @@
+"""Core discrete-event simulator: virtual clock, event queue, and events.
+
+The simulator maintains a priority queue of ``(time, sequence, callback)``
+entries. Time is a float in *milliseconds* throughout the reproduction
+(the paper reports operation times in ms). Entries scheduled for the same
+instant run in FIFO order, which keeps runs deterministic.
+
+:class:`Event` is a one-shot, latching synchronization primitive modeled
+after simpy's events: it can be triggered with a value or failed with an
+exception, callbacks attached after triggering fire immediately, and
+processes (see :mod:`repro.sim.process`) can ``yield`` an event to block
+until it triggers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator usage (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A one-shot latching event.
+
+    An event starts *pending*; calling :meth:`trigger` (or :meth:`fail`)
+    moves it to *triggered* and invokes all attached callbacks with the
+    event itself. Attaching a callback to an already-triggered event calls
+    it immediately, so waiters never miss a signal (this is what makes the
+    ``wait(GOT_FIRST_PKT_FROM_SW)`` steps in the paper's Figure 6 safe to
+    express as plain yields).
+    """
+
+    __slots__ = ("sim", "name", "_callbacks", "_triggered", "_value", "_exception")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired (successfully or with an error)."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (no exception)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        Raises the stored exception if the event failed, and
+        :class:`SimulationError` if the event is still pending.
+        """
+        if not self._triggered:
+            raise SimulationError("event %r has not been triggered" % (self.name,))
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the event failed with, or ``None``."""
+        return self._exception
+
+    def trigger(self, value: Any = None) -> "Event":
+        """Fire the event successfully with ``value``; idempotent misuse errors."""
+        if self._triggered:
+            raise SimulationError("event %r already triggered" % (self.name,))
+        self._triggered = True
+        self._value = value
+        self._flush()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception; waiters will see it raised."""
+        if self._triggered:
+            raise SimulationError("event %r already triggered" % (self.name,))
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self._flush()
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(event)`` when the event fires (now if already fired)."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _flush(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return "<Event %s %s>" % (self.name or hex(id(self)), state)
+
+
+class _ScheduledCall:
+    """Handle to a scheduled callback, allowing cancellation."""
+
+    __slots__ = ("callback", "args", "cancelled")
+
+    def __init__(self, callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a millisecond clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Tuple[float, int, _ScheduledCall]] = []
+        self._sequence = itertools.count()
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed so far (useful for runaway detection)."""
+        return self._event_count
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> _ScheduledCall:
+        """Run ``callback(*args)`` after ``delay`` ms of simulated time."""
+        if delay < 0:
+            raise SimulationError("cannot schedule %.3f ms in the past" % delay)
+        entry = _ScheduledCall(callback, args)
+        heapq.heappush(self._queue, (self._now + delay, next(self._sequence), entry))
+        return entry
+
+    def call_at(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> _ScheduledCall:
+        """Run ``callback(*args)`` at absolute simulated time ``when``."""
+        return self.schedule(when - self._now, callback, *args)
+
+    def event(self, name: str = "") -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that triggers after ``delay`` ms with ``value``."""
+        evt = Event(self, name or "timeout(%g)" % delay)
+        self.schedule(delay, evt.trigger, value)
+        return evt
+
+    def spawn(self, generator, name: str = ""):
+        """Start a cooperative process; see :class:`repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator, name=name)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Stops when the queue drains, when simulated time would pass
+        ``until`` (the clock is then advanced to exactly ``until``), or
+        after ``max_events`` callbacks. Returns the final clock value.
+        """
+        executed = 0
+        while self._queue:
+            when, _seq, entry = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            if when < self._now:
+                raise SimulationError("event queue time went backwards")
+            self._now = when
+            entry.callback(*entry.args)
+            self._event_count += 1
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                return self._now
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_triggered(self, event: Event, limit: float = 1e12) -> Any:
+        """Run until ``event`` fires; return its value. Errors if it never does."""
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    "event %r never triggered (queue drained)" % (event.name,)
+                )
+            if self._now > limit:
+                raise SimulationError("simulation exceeded limit while waiting")
+            self.run(max_events=1)
+        return event.value

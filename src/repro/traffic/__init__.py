@@ -1,0 +1,44 @@
+"""Synthetic traffic: flow builders, trace mixes, and rate-based replay."""
+
+from repro.traffic.generator import (
+    FlowBlueprint,
+    PacketBlueprint,
+    ftp_session,
+    http_exchange,
+    port_scan,
+    tcp_flow,
+)
+from repro.traffic.replay import TraceReplayer
+from repro.traffic.serialize import load_trace, save_trace
+from repro.traffic.traces import (
+    MALWARE_BODY,
+    MODERN_AGENT,
+    OUTDATED_AGENT,
+    Trace,
+    TraceConfig,
+    build_cellular_trace,
+    build_datacenter_trace,
+    build_university_cloud_trace,
+    malware_signatures,
+)
+
+__all__ = [
+    "FlowBlueprint",
+    "MALWARE_BODY",
+    "MODERN_AGENT",
+    "OUTDATED_AGENT",
+    "PacketBlueprint",
+    "Trace",
+    "TraceConfig",
+    "TraceReplayer",
+    "build_cellular_trace",
+    "build_datacenter_trace",
+    "build_university_cloud_trace",
+    "ftp_session",
+    "http_exchange",
+    "load_trace",
+    "malware_signatures",
+    "port_scan",
+    "save_trace",
+    "tcp_flow",
+]

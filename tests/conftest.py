@@ -1,0 +1,48 @@
+"""Shared fixtures for the OpenNF reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple
+from repro.harness import Deployment
+from repro.net.packet import Packet, reset_uid_counter
+from repro.nfs.monitor import AssetMonitor
+from repro.sim import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _fresh_uids():
+    """Keep packet uids deterministic per test."""
+    reset_uid_counter()
+    yield
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def flow():
+    return FiveTuple("10.0.1.2", 1234, "203.0.113.5", 80)
+
+
+def make_packet(flow, flags=(), seq=0, payload="", created_at=0.0):
+    return Packet(flow, tcp_flags=flags, seq=seq, payload=payload,
+                  created_at=created_at)
+
+
+@pytest.fixture
+def two_monitor_deployment():
+    """A deployment with two PRADS monitors, traffic defaulting to the first."""
+    dep = Deployment()
+    src = AssetMonitor(dep.sim, "prads1")
+    dst = AssetMonitor(dep.sim, "prads2")
+    dep.add_nf(src)
+    dep.add_nf(dst)
+    dep.set_default_route("prads1")
+    return dep, src, dst
+
+
+LOCAL_FILTER = Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)

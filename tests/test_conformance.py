@@ -1,0 +1,83 @@
+"""Every bundled NF must pass the southbound conformance battery."""
+
+import pytest
+
+from repro.flowspace import FiveTuple
+from repro.net.packet import Packet
+from repro.nf import Scope
+from repro.nf.conformance import check_nf_conformance
+from repro.nfs.dummy import DummyNF
+from repro.nfs.ids import IntrusionDetector
+from repro.nfs.lb import LoadBalancer
+from repro.nfs.monitor import AssetMonitor
+from repro.nfs.nat import NetworkAddressTranslator
+from repro.nfs.proxy import CachingProxy, request_payload
+from repro.nfs.redup import REDecoder, REEncoder
+
+
+def http_traffic():
+    from repro.traffic import http_exchange
+
+    packets = []
+    for index in range(5):
+        flow = http_exchange(
+            "10.0.1.%d" % (index + 1), 20000 + index, "203.0.113.5",
+            reply_body="B" * 400, close=False,
+        )
+        packets.extend(b.build(0.0) for b in flow.packets)
+    return packets
+
+
+def proxy_traffic():
+    packets = []
+    for index in range(5):
+        flow = FiveTuple("10.0.1.%d" % (index + 1), 20000 + index,
+                         "203.0.113.5", 80)
+        packets.append(Packet(flow, tcp_flags=("ACK", "PSH"),
+                              payload=request_payload("/obj/%d" % index,
+                                                      200_000)))
+    return packets
+
+
+def payload_traffic():
+    packets = []
+    for index in range(6):
+        flow = FiveTuple("10.0.1.%d" % (index + 1), 20000 + index,
+                         "203.0.113.5", 9000)
+        packets.append(Packet(flow, payload="content-%d " % (index % 2) * 8))
+    return packets
+
+
+CASES = [
+    ("AssetMonitor", lambda sim, name: AssetMonitor(sim, name), None),
+    ("IntrusionDetector",
+     lambda sim, name: IntrusionDetector(sim, name), http_traffic),
+    ("NAT", lambda sim, name: NetworkAddressTranslator(sim, name), None),
+    ("CachingProxy", lambda sim, name: CachingProxy(sim, name),
+     proxy_traffic),
+    ("LoadBalancer", lambda sim, name: LoadBalancer(sim, name), None),
+    ("REEncoder", lambda sim, name: REEncoder(sim, name), payload_traffic),
+    ("REDecoder", lambda sim, name: REDecoder(sim, name), payload_traffic),
+    ("DummyNF", lambda sim, name: _preloaded_dummy(sim, name), None),
+]
+
+
+def _preloaded_dummy(sim, name):
+    dummy = DummyNF(sim, name)
+    dummy.preload(5)
+    return dummy
+
+
+@pytest.mark.parametrize(
+    "label,factory,traffic", CASES, ids=[c[0] for c in CASES]
+)
+def test_nf_conformance(label, factory, traffic):
+    report = check_nf_conformance(
+        factory, traffic=None if traffic is None else traffic()
+    )
+    assert report.ok, "%s: %s" % (label, report.failures)
+    assert report.checks_run > 0
+    # Every NF must expose at least one scope with state.
+    assert any(count > 0 for count in report.chunks_seen.values()), (
+        "%s exported nothing under conformance traffic" % label
+    )

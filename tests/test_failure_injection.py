@@ -1,0 +1,128 @@
+"""Failure injection: operations must degrade gracefully, never wedge."""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple
+from repro.harness import LOCAL_NET_FILTER, build_multi_instance_deployment
+from repro.nf import Scope
+from repro.nfs.monitor import AssetMonitor
+from tests.conftest import make_packet
+
+
+def feed(dep, nf, count=10):
+    for index in range(count):
+        flow = FiveTuple("10.0.1.%d" % (index + 1), 30000 + index,
+                         "203.0.113.5", 80)
+        nf.receive(make_packet(flow, flags=("SYN",)))
+    dep.sim.run()
+
+
+class TestCrashBeforeOperation:
+    def test_get_on_failed_nf_fails_cleanly(self):
+        dep, (a, _b) = build_multi_instance_deployment(2)
+        feed(dep, a, 3)
+        a.failed = True
+        a.failure_reason = "injected"
+        done = dep.controller.client("inst1").get_perflow(Filter.wildcard())
+        dep.sim.run()
+        assert done.triggered and not done.ok
+        assert "down" in str(done.exception)
+
+    def test_put_on_failed_nf_fails_cleanly(self):
+        dep, (a, b) = build_multi_instance_deployment(2)
+        feed(dep, a, 3)
+        got = dep.controller.client("inst1").get_perflow(Filter.wildcard())
+        dep.sim.run()
+        b.failed = True
+        b.failure_reason = "injected"
+        put = dep.controller.client("inst2").put_perflow(got.value)
+        dep.sim.run()
+        assert put.triggered and not put.ok
+
+    def test_move_from_dead_source_aborts(self):
+        dep, (a, b) = build_multi_instance_deployment(2)
+        feed(dep, a, 5)
+        a.failed = True
+        a.failure_reason = "power loss"
+        op = dep.controller.move("inst1", "inst2", LOCAL_NET_FILTER,
+                                 guarantee="lf")
+        dep.sim.run()
+        report = op.done.value
+        assert report.aborted is not None
+        assert "down" in report.aborted
+        assert b.conn_count() == 0
+
+    def test_copy_from_dead_source_aborts(self):
+        dep, (a, b) = build_multi_instance_deployment(2)
+        feed(dep, a, 5)
+        a.failed = True
+        a.failure_reason = "oom"
+        op = dep.controller.copy("inst1", "inst2", Filter.wildcard(), "per")
+        dep.sim.run()
+        assert op.done.value.aborted is not None
+
+
+class TestCrashMidOperation:
+    def test_destination_dies_during_move(self):
+        """dst dies while puts are in flight: the op aborts, simulation
+        terminates, and nothing hangs."""
+        dep, (a, b) = build_multi_instance_deployment(2)
+        feed(dep, a, 50)
+        op = dep.controller.move("inst1", "inst2", LOCAL_NET_FILTER,
+                                 guarantee="lf")
+        # Kill dst shortly after the operation begins.
+        def kill() -> None:
+            b.failed = True
+            b.failure_reason = "mid-move crash"
+
+        dep.sim.schedule(5.0, kill)
+        dep.sim.run()
+        report = op.done.value
+        assert report.aborted is not None
+        # Source events were re-enabled off / cleaned up.
+        assert a.event_rule_count == 0
+
+    def test_aborted_move_does_not_strand_buffered_events(self):
+        """Events buffered at the controller are flushed to the live
+        instance on abort."""
+        dep, (a, b) = build_multi_instance_deployment(2)
+        feed(dep, a, 50)
+        op = dep.controller.move("inst1", "inst2", LOCAL_NET_FILTER,
+                                 guarantee="lf")
+
+        def kill_dst_and_traffic() -> None:
+            b.failed = True
+            b.failure_reason = "crash"
+            # Packets arriving while src's DROP rule is live get evented.
+            for index in range(5):
+                flow = FiveTuple("10.0.1.%d" % (index + 1), 30000 + index,
+                                 "203.0.113.5", 80)
+                dep.inject(make_packet(flow, payload="late"))
+
+        dep.sim.schedule(6.0, kill_dst_and_traffic)
+        dep.sim.run()
+        report = op.done.value
+        assert report.aborted is not None
+        # Buffered packets were handed back to the still-alive source
+        # rather than stranded at the controller.
+        assert not op._event_buffer
+        dep.sim.run()
+        assert a.packets_processed >= 50
+
+    def test_operations_after_abort_still_work(self):
+        dep, (a, b, _c) = build_multi_instance_deployment(3)
+        feed(dep, a, 5)
+        b.failed = True
+        b.failure_reason = "dead"
+        first = dep.controller.move("inst1", "inst2", LOCAL_NET_FILTER,
+                                    guarantee="lf")
+        dep.sim.run()
+        assert first.done.value.aborted
+        # Retry towards a healthy instance succeeds.
+        second = dep.controller.move("inst1", "inst3", LOCAL_NET_FILTER,
+                                     guarantee="lf")
+        dep.sim.run()
+        report = second.done.value
+        assert report.aborted is None
+        third = dep.controller.client("inst3")
+        assert third.nf.conn_count() == 5

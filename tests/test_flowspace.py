@@ -1,0 +1,248 @@
+"""Tests for IP helpers, five-tuples, filters, and flow ids."""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple, FlowId, ip_in_prefix, ip_to_int
+from repro.flowspace.fivetuple import TCP, UDP
+from repro.flowspace.ip import parse_prefix, prefix_covers, prefixes_overlap
+from repro.net.packet import Packet
+
+
+class TestIpHelpers:
+    def test_ip_to_int(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("0.0.0.1") == 1
+        assert ip_to_int("10.0.0.0") == 10 * 2**24
+        assert ip_to_int("255.255.255.255") == 2**32 - 1
+
+    def test_ip_to_int_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0")
+        with pytest.raises(ValueError):
+            ip_to_int("10.0.0.300")
+
+    def test_parse_prefix_bare_address_is_slash32(self):
+        network, mask = parse_prefix("10.1.2.3")
+        assert mask == 0xFFFFFFFF
+        assert network == ip_to_int("10.1.2.3")
+
+    def test_parse_prefix_slash8(self):
+        network, mask = parse_prefix("10.0.0.0/8")
+        assert mask == 0xFF000000
+        assert network == ip_to_int("10.0.0.0")
+
+    def test_parse_prefix_zero_length_matches_all(self):
+        assert ip_in_prefix("192.168.1.1", "0.0.0.0/0")
+
+    def test_parse_prefix_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            parse_prefix("10.0.0.0/33")
+
+    def test_ip_in_prefix(self):
+        assert ip_in_prefix("10.1.2.3", "10.0.0.0/8")
+        assert not ip_in_prefix("11.1.2.3", "10.0.0.0/8")
+        assert ip_in_prefix("10.0.1.7", "10.0.1.0/24")
+        assert not ip_in_prefix("10.0.2.7", "10.0.1.0/24")
+
+    def test_prefix_covers(self):
+        assert prefix_covers("10.0.0.0/8", "10.1.0.0/16")
+        assert not prefix_covers("10.1.0.0/16", "10.0.0.0/8")
+        assert prefix_covers("10.0.0.0/8", "10.0.0.0/8")
+        assert not prefix_covers("10.0.0.0/8", "11.0.0.0/16")
+
+    def test_prefixes_overlap(self):
+        assert prefixes_overlap("10.0.0.0/8", "10.5.0.0/16")
+        assert prefixes_overlap("10.5.0.0/16", "10.0.0.0/8")
+        assert not prefixes_overlap("10.0.0.0/8", "11.0.0.0/8")
+        assert prefixes_overlap("0.0.0.0/0", "203.0.113.9")
+
+
+class TestFiveTuple:
+    def test_reversed_swaps_endpoints(self, flow):
+        rev = flow.reversed()
+        assert rev.src_ip == flow.dst_ip
+        assert rev.src_port == flow.dst_port
+        assert rev.dst_ip == flow.src_ip
+        assert rev.proto == flow.proto
+
+    def test_canonical_is_direction_independent(self, flow):
+        assert flow.canonical() == flow.reversed().canonical()
+
+    def test_canonical_is_idempotent(self, flow):
+        assert flow.canonical().canonical() == flow.canonical()
+
+    def test_headers_fields(self, flow):
+        headers = flow.headers()
+        assert headers["nw_src"] == "10.0.1.2"
+        assert headers["tp_dst"] == 80
+        assert headers["nw_proto"] == TCP
+
+    def test_proto_name(self, flow):
+        assert flow.proto_name == "tcp"
+        udp = FiveTuple("1.2.3.4", 5, "6.7.8.9", 53, UDP)
+        assert udp.proto_name == "udp"
+
+    def test_equality_and_hash(self, flow):
+        same = FiveTuple("10.0.1.2", 1234, "203.0.113.5", 80)
+        assert flow == same
+        assert hash(flow) == hash(same)
+
+    def test_str_representation(self, flow):
+        assert "10.0.1.2:1234" in str(flow)
+        assert "tcp" in str(flow)
+
+
+class TestFilterPacketMatching:
+    def test_wildcard_matches_everything(self, flow):
+        packet = Packet(flow)
+        assert Filter.wildcard().matches_packet(packet)
+
+    def test_exact_ip_match(self, flow):
+        assert Filter({"nw_src": "10.0.1.2"}).matches_packet(Packet(flow))
+        assert not Filter({"nw_src": "10.0.1.3"}).matches_packet(Packet(flow))
+
+    def test_prefix_match(self, flow):
+        assert Filter({"nw_src": "10.0.0.0/8"}).matches_packet(Packet(flow))
+        assert not Filter({"nw_src": "192.168.0.0/16"}).matches_packet(Packet(flow))
+
+    def test_port_and_proto_match(self, flow):
+        assert Filter({"tp_dst": 80, "nw_proto": TCP}).matches_packet(Packet(flow))
+        assert not Filter({"tp_dst": 443}).matches_packet(Packet(flow))
+
+    def test_tcp_flags_require_all_named_flags(self, flow):
+        syn_ack = Packet(flow, tcp_flags=("SYN", "ACK"))
+        assert Filter({"tcp_flags": "SYN"}).matches_packet(syn_ack)
+        assert Filter({"tcp_flags": ("SYN", "ACK")}).matches_packet(syn_ack)
+        assert not Filter({"tcp_flags": "FIN"}).matches_packet(syn_ack)
+
+    def test_flags_filter_misses_packet_without_flags(self, flow):
+        assert not Filter({"tcp_flags": "SYN"}).matches_packet(Packet(flow))
+
+    def test_directional_filter_misses_reverse_packet(self, flow):
+        reply = Packet(flow.reversed())
+        flt = Filter({"nw_src": "10.0.0.0/8"})
+        assert not flt.matches_packet(reply)
+
+    def test_symmetric_filter_matches_both_directions(self, flow):
+        flt = Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)
+        assert flt.matches_packet(Packet(flow))
+        assert flt.matches_packet(Packet(flow.reversed()))
+
+    def test_symmetric_swaps_ports_consistently(self, flow):
+        flt = Filter({"nw_src": "10.0.1.2", "tp_src": 1234}, symmetric=True)
+        assert flt.matches_packet(Packet(flow))
+        assert flt.matches_packet(Packet(flow.reversed()))
+        # Mixed orientation must not match: src ip of one side with src
+        # port of the other.
+        mixed = Filter({"nw_src": "10.0.1.2", "tp_src": 80}, symmetric=True)
+        assert not mixed.matches_packet(Packet(flow))
+        assert not mixed.matches_packet(Packet(flow.reversed()))
+
+    def test_for_flow_exact_filter(self, flow):
+        flt = Filter.for_flow(flow)
+        assert flt.matches_packet(Packet(flow))
+        assert flt.matches_packet(Packet(flow.reversed()))
+        other = FiveTuple("10.0.1.2", 9999, "203.0.113.5", 80)
+        assert not flt.matches_packet(Packet(other))
+
+    def test_with_fields_overrides(self, flow):
+        base = Filter({"nw_src": "10.0.0.0/8"})
+        narrowed = base.with_fields(tp_dst=80)
+        assert narrowed.matches_packet(Packet(flow))
+        assert "tp_dst" not in base.fields  # original untouched
+
+    def test_extra_header_match(self, flow):
+        packet = Packet(flow, extra_headers={"http_url": "/x"})
+        assert Filter({"http_url": "/x"}).matches_packet(packet)
+        assert not Filter({"http_url": "/y"}).matches_packet(packet)
+
+
+class TestFilterAlgebra:
+    def test_covers_broader_prefix(self):
+        broad = Filter({"nw_src": "10.0.0.0/8"})
+        narrow = Filter({"nw_src": "10.1.0.0/16"})
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+
+    def test_covers_requires_field_presence(self):
+        constrained = Filter({"tp_dst": 80})
+        wildcard = Filter.wildcard()
+        assert wildcard.covers(constrained)
+        assert not constrained.covers(wildcard)
+
+    def test_covers_exact_fields(self):
+        a = Filter({"tp_dst": 80, "nw_proto": 6})
+        b = Filter({"tp_dst": 80, "nw_proto": 6, "nw_src": "10.0.0.1"})
+        assert a.covers(b)
+        assert not b.covers(a)
+
+    def test_intersects_overlapping_prefixes(self):
+        a = Filter({"nw_src": "10.0.0.0/8"})
+        b = Filter({"nw_src": "10.5.0.0/16"})
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_intersects_disjoint_fields_false(self):
+        a = Filter({"tp_dst": 80})
+        b = Filter({"tp_dst": 443})
+        assert not a.intersects(b)
+
+    def test_intersects_on_disjoint_dimensions(self):
+        a = Filter({"tp_dst": 80})
+        b = Filter({"nw_src": "10.0.0.0/8"})
+        assert a.intersects(b)
+
+    def test_equality_and_hash(self):
+        a = Filter({"nw_src": "10.0.0.0/8", "tp_dst": 80})
+        b = Filter({"tp_dst": 80, "nw_src": "10.0.0.0/8"})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Filter({"tp_dst": 80})
+        assert a != Filter({"nw_src": "10.0.0.0/8", "tp_dst": 80}, symmetric=True)
+
+    def test_roundtrip_dict(self):
+        flt = Filter({"nw_src": "10.0.0.0/8", "tcp_flags": frozenset({"SYN"})},
+                     symmetric=True)
+        again = Filter.from_dict(flt.to_dict())
+        assert again.symmetric
+        assert again.fields["nw_src"] == "10.0.0.0/8"
+
+
+class TestFlowIdMatching:
+    def test_flowid_for_flow_is_hashable(self, flow):
+        a = FlowId.for_flow(flow.canonical())
+        b = FlowId.for_flow(flow.reversed().canonical())
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_filter_matches_perflow_flowid(self, flow):
+        fid = FlowId.for_flow(flow)
+        assert Filter({"nw_src": "10.0.0.0/8"}).matches_flowid(fid)
+        assert not Filter({"nw_src": "172.16.0.0/12"}).matches_flowid(fid)
+
+    def test_symmetric_flowid_matches_reversed_constraint(self, flow):
+        fid = FlowId.for_flow(flow)  # symmetric by default
+        assert Filter({"nw_dst": "10.0.1.2"}).matches_flowid(fid)
+
+    def test_relevant_fields_restrict_matching(self, flow):
+        fid = FlowId.for_host("203.0.113.5")
+        flt = Filter({"nw_src": "10.0.0.0/8", "tp_dst": 80})
+        # With only IP fields relevant, the host id lacks a matching IP.
+        assert not flt.matches_flowid(fid, relevant_fields=("nw_src", "nw_dst"))
+        host_filter = Filter({"nw_src": "203.0.113.0/24"})
+        assert host_filter.matches_flowid(fid, relevant_fields=("nw_src", "nw_dst"))
+
+    def test_flowid_missing_field_is_coarser(self):
+        host = FlowId.for_host("10.0.1.2")
+        # tp_dst constraint ignored: the host id has no port granularity.
+        assert Filter({"nw_src": "10.0.0.0/8", "tp_dst": 80}).matches_flowid(host)
+
+    def test_flowid_prefix_value_must_be_covered(self):
+        subnet_state = FlowId({"nw_src": "10.1.0.0/16"})
+        assert Filter({"nw_src": "10.0.0.0/8"}).matches_flowid(subnet_state)
+        assert not Filter({"nw_src": "10.2.0.0/16"}).matches_flowid(subnet_state)
+
+    def test_flowid_roundtrip(self, flow):
+        fid = FlowId.for_flow(flow)
+        again = FlowId.from_dict(fid.to_dict())
+        assert again == fid

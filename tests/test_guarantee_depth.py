@@ -1,0 +1,165 @@
+"""Deeper guarantee coverage: cross-flow ordering, jitter, share scopes.
+
+§5.1.2: the order-preserving property "applies within one direction of
+a flow..., across both directions of a flow..., and, for moves
+including multi-flow state, across flows (e.g. process an FTP get
+command before the SYN for the new transfer connection)."
+"""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple
+from repro.harness import (
+    LOCAL_NET_FILTER,
+    build_multi_instance_deployment,
+    check_loss_free,
+    check_order_preserving,
+    run_move_experiment,
+)
+from repro.net.link import Link
+from repro.nf import Scope
+from repro.nfs.monitor import AssetMonitor
+from repro.sim.rng import derive_rng
+from repro.traffic import TraceConfig, TraceReplayer, build_university_cloud_trace
+from tests.conftest import make_packet
+
+
+class TestCrossFlowOrdering:
+    def test_op_move_with_multiflow_scope_preserves_global_order(self):
+        """Across-flow ordering (the FTP-control/data case): with
+        multi-flow state in the move, processing order across *all*
+        matching flows equals switch forwarding order."""
+        result = run_move_experiment(
+            "op", scope="per+multi", n_flows=30, rate_pps=4000.0, seed=11
+        )
+        assert result.report.aborted is None
+        dep = result.deployment
+        ok, detail = check_order_preserving(
+            dep.switch,
+            [dep.nfs["inst1"], dep.nfs["inst2"]],
+            result.replayer.injected,
+            per_flow=False,
+        )
+        assert ok, detail
+
+    def test_lf_move_does_not_guarantee_global_order(self):
+        """Sanity: plain LF reorders across flows on adversarial seeds
+        (this is exactly why OP exists). At least one of several seeds
+        must show a global-order violation."""
+        violations = 0
+        for seed in (0, 1, 2, 3):
+            result = run_move_experiment(
+                "lf", n_flows=40, rate_pps=6000.0, seed=seed
+            )
+            dep = result.deployment
+            ok, _ = check_order_preserving(
+                dep.switch,
+                [dep.nfs["inst1"], dep.nfs["inst2"]],
+                result.replayer.injected,
+                per_flow=False,
+            )
+            if not ok:
+                violations += 1
+        assert violations > 0
+
+
+class TestJitterRobustness:
+    def _jittery_deployment(self, seed):
+        dep, (a, b) = build_multi_instance_deployment(2)
+        # Replace the NF links with jittery ones: packets may reorder on
+        # the wire between switch and NF. (The paper's OP proof assumes
+        # in-order sw→NF paths, so only loss-freedom is asserted here.)
+        rng = derive_rng(seed, "jitter")
+        for nf in (a, b):
+            dep.switch._ports[nf.name].link = Link(
+                dep.sim, latency_ms=0.2, jitter_ms=0.4, rng=rng
+            )
+        return dep, a, b
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_lossfree_move_survives_wire_jitter(self, seed):
+        dep, a, b = self._jittery_deployment(seed)
+        trace = build_university_cloud_trace(
+            TraceConfig(seed=seed, n_flows=40, data_packets=15)
+        )
+        replayer = TraceReplayer(dep.sim, dep.inject, trace.packets, 4000.0)
+        replayer.start()
+        holder = {}
+        dep.sim.schedule(
+            replayer.duration_ms / 2,
+            lambda: holder.update(op=dep.controller.move(
+                "inst1", "inst2", LOCAL_NET_FILTER, guarantee="lf")),
+        )
+        dep.sim.run()
+        assert holder["op"].done.value.packets_dropped == 0
+        ok, detail = check_loss_free(dep.switch, [a, b])
+        assert ok, detail
+
+
+class TestShareScopes:
+    def _split(self):
+        dep, (a, b) = build_multi_instance_deployment(2)
+        dep.switch.table.remove(Filter.wildcard())
+        dep.set_default_route("inst1")
+        dep.switch.table.install(
+            Filter({"nw_src": "10.0.2.0/24"}, symmetric=True), 500,
+            ["inst2"], 0.0,
+        )
+        return dep, a, b
+
+    def test_share_perflow_scope(self):
+        dep, a, b = self._split()
+        share = dep.controller.share(
+            ["inst1", "inst2"], Filter.wildcard(), scope="per",
+            consistency="strong", group_by="flow",
+        )
+        dep.sim.run()
+        flow = FiveTuple("10.0.1.5", 1111, "203.0.113.9", 80)
+        for index in range(3):
+            dep.inject(make_packet(flow, flags=("ACK",), seq=index))
+        dep.sim.run()
+        assert share.packets_serialized == 3
+        # inst2 received per-flow copies of inst1's connection record.
+        assert b.conn_for(flow) is not None
+        assert b.conn_for(flow).packets == a.conn_for(flow).packets
+        share.stop()
+        dep.sim.run()
+
+    def test_share_group_by_all_single_queue(self):
+        dep, a, b = self._split()
+        share = dep.controller.share(
+            ["inst1", "inst2"], Filter.wildcard(), scope="multi",
+            consistency="strong", group_by="all",
+        )
+        dep.sim.run()
+        flows = [
+            FiveTuple("10.0.1.5", 1000 + i, "203.0.113.%d" % (i + 1), 80)
+            for i in range(4)
+        ]
+        for flow in flows:
+            dep.inject(make_packet(flow, flags=("SYN",)))
+        dep.sim.run()
+        # One serialization domain: strictly increasing completion times.
+        assert share.packets_serialized == 4
+        assert share.latency_samples == sorted(share.latency_samples)
+        share.stop()
+        dep.sim.run()
+
+    def test_share_survives_restart_of_traffic(self):
+        dep, a, b = self._split()
+        share = dep.controller.share(
+            ["inst1", "inst2"], Filter.wildcard(), scope="multi",
+            consistency="strong",
+        )
+        dep.sim.run()
+        flow = FiveTuple("10.0.1.5", 1111, "203.0.113.9", 80)
+        dep.inject(make_packet(flow, flags=("SYN",)))
+        dep.sim.run()
+        first_round = share.packets_serialized
+        # A quiet period, then more traffic: the worker must re-arm.
+        dep.sim.run(until=dep.sim.now + 500.0)
+        dep.inject(make_packet(flow, payload="later"))
+        dep.sim.run()
+        assert share.packets_serialized == first_round + 1
+        share.stop()
+        dep.sim.run()

@@ -1,0 +1,142 @@
+"""Tests for the FTP analyzer and §5.1.2's cross-flow ordering example."""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple, FlowId
+from repro.harness import build_multi_instance_deployment
+from repro.nf import Scope
+from repro.nfs.ids import IntrusionDetector
+from repro.nfs.ids.ftp import FtpControlAnalyzer, FtpExpectation
+from repro.traffic import TraceReplayer, ftp_session
+from tests.conftest import make_packet
+
+
+class TestFtpControlAnalyzer:
+    def test_retr_parsed(self):
+        seen = []
+        analyzer = FtpControlAnalyzer(on_retr=seen.append)
+        analyzer.feed("USER anon\r\nRETR big.iso\r\n")
+        assert seen == ["big.iso"]
+        assert analyzer.commands == ["USER anon", "RETR big.iso"]
+
+    def test_command_split_across_segments(self):
+        seen = []
+        analyzer = FtpControlAnalyzer(on_retr=seen.append)
+        analyzer.feed("RETR par")
+        analyzer.feed("tial.bin\r\n")
+        assert seen == ["partial.bin"]
+
+    def test_serialization_roundtrip(self):
+        analyzer = FtpControlAnalyzer()
+        analyzer.feed("RETR a\r\nRET")
+        clone = FtpControlAnalyzer.from_dict(analyzer.to_dict())
+        seen = []
+        clone.on_retr = seen.append
+        clone.feed("R b\r\n")
+        assert seen == ["b"]
+        assert clone.retrievals == ["a", "b"]
+
+
+class TestFtpExpectation:
+    def test_expect_consume_fifo(self):
+        record = FtpExpectation("10.0.1.2", "203.0.113.5", 0.0)
+        record.expect("a")
+        record.expect("b")
+        assert record.consume() == "a"
+        assert record.consume() == "b"
+        assert record.consume() is None
+        assert record.consumed == 2
+
+    def test_merge_idempotent(self):
+        record = FtpExpectation("10.0.1.2", "203.0.113.5", 0.0)
+        record.expect("a")
+        snapshot = record.to_dict()
+        record.merge_from(snapshot)
+        assert record.pending == ["a"]
+
+
+def drive(ids, blueprints, sim):
+    for blueprint in blueprints:
+        ids.receive(blueprint.build(sim.now))
+    sim.run()
+
+
+class TestFtpInIds:
+    def test_ordered_session_is_clean(self, sim):
+        ids = IntrusionDetector(sim, "bro")
+        control, data = ftp_session("10.0.1.2", "203.0.113.5")
+        drive(ids, control.packets + data.packets, sim)
+        assert ids.alerts_of("weird:ftp_data_without_command") == []
+        assert len(ids.ftp_expectations) == 1
+
+    def test_data_before_command_raises_weird(self, sim):
+        ids = IntrusionDetector(sim, "bro")
+        control, data = ftp_session("10.0.1.2", "203.0.113.5")
+        drive(ids, data.packets + control.packets, sim)  # reordered!
+        assert len(ids.alerts_of("weird:ftp_data_without_command")) == 1
+
+    def test_expectation_is_exported_as_multiflow(self, sim):
+        ids = IntrusionDetector(sim, "bro")
+        control, _data = ftp_session("10.0.1.2", "203.0.113.5")
+        drive(ids, control.packets, sim)
+        keys = ids.state_keys(
+            Scope.MULTIFLOW, Filter({"nw_src": "10.0.1.2"}, symmetric=True)
+        )
+        chunks = [ids.export_chunk(Scope.MULTIFLOW, key) for key in keys]
+        assert any(c.data.get("kind") == "ftp" for c in chunks)
+
+    def test_expectation_moves_with_state(self, sim):
+        """The RETR is seen at instance A; the data SYN arrives at B
+        after a per+multi move — no false alarm."""
+        a = IntrusionDetector(sim, "a")
+        b = IntrusionDetector(sim, "b")
+        control, data = ftp_session("10.0.1.2", "203.0.113.5")
+        drive(a, control.packets, sim)
+        for scope in (Scope.PERFLOW, Scope.MULTIFLOW):
+            for key in a.state_keys(scope, Filter.wildcard()):
+                chunk = a.export_chunk(scope, key)
+                a.delete_by_flowid(scope, key)
+                b.import_chunk(chunk)
+        drive(b, data.packets, sim)
+        assert b.alerts_of("weird:ftp_data_without_command") == []
+
+    def test_missing_expectation_after_stateless_reroute(self, sim):
+        """Without the multi-flow move, the data SYN at B is weird."""
+        a = IntrusionDetector(sim, "a")
+        b = IntrusionDetector(sim, "b")
+        control, data = ftp_session("10.0.1.2", "203.0.113.5")
+        drive(a, control.packets, sim)
+        drive(b, data.packets, sim)
+        assert len(b.alerts_of("weird:ftp_data_without_command")) == 1
+
+
+class TestFtpAcrossMove:
+    def test_op_move_with_multiflow_keeps_ftp_clean(self):
+        """End-to-end §5.1.2: move between RETR and data SYN, with
+        per+multi scope and the order-preserving guarantee — no weird."""
+        dep, (a, b) = build_multi_instance_deployment(
+            2, nf_factory=lambda s, n: IntrusionDetector(s, n)
+        )
+        control, data = ftp_session("10.0.1.2", "203.0.113.5")
+        packets = control.packets + data.packets
+        replayer = TraceReplayer(dep.sim, dep.inject, packets, 500.0)
+        replayer.start()
+        # Move right between the RETR (packet 4, t=6 ms) and the data
+        # SYN (packet 5, t=8 ms).
+        flt = Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)
+        dep.sim.schedule(
+            7.0,
+            lambda: dep.controller.move("inst1", "inst2", flt,
+                                        scope="per+multi", guarantee="op"),
+        )
+        dep.sim.run()
+        weirds = (a.alerts_of("weird:ftp_data_without_command")
+                  + b.alerts_of("weird:ftp_data_without_command"))
+        assert weirds == []
+        # The data connection was recognized at whichever instance saw it.
+        consumed = sum(
+            record.consumed
+            for ids in (a, b)
+            for record in ids.ftp_expectations.values()
+        )
+        assert consumed == 1

@@ -1,0 +1,219 @@
+"""Cross-module integration scenarios.
+
+These exercise the paper's end-to-end stories: elastic scale-out and
+scale-in with state merging, the Squid rebalance of Table 1, RE-decoder
+order sensitivity, and repeated operations on one deployment.
+"""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple
+from repro.harness import (
+    build_multi_instance_deployment,
+    check_loss_free,
+)
+from repro.nf import Scope
+from repro.nfs.ids import IntrusionDetector, SignatureDB
+from repro.nfs.monitor import AssetMonitor
+from repro.nfs.proxy import CachingProxy, pull_payload, request_payload
+from repro.nfs.redup import RE_TOKEN_HEADER, REDecoder, fingerprint
+from repro.traffic import (
+    TraceConfig,
+    TraceReplayer,
+    build_university_cloud_trace,
+    malware_signatures,
+)
+from tests.conftest import make_packet
+
+
+class TestElasticScaling:
+    def test_scale_out_then_scale_in_merges_counters(self):
+        """Move half the flows out, then merge everything back (§2.1)."""
+        dep, (a, b) = build_multi_instance_deployment(
+            2, nf_factory=lambda s, n: IntrusionDetector(s, n, scan_threshold=10)
+        )
+        scanner = "10.0.1.9"
+        # Scanner probes 6 targets while on inst1.
+        for i in range(6):
+            flow = FiveTuple(scanner, 40000 + i, "203.0.113.%d" % (i + 1), 22)
+            dep.inject(make_packet(flow, flags=("SYN",)))
+        dep.sim.run()
+        # Scale out: move scanner's flows AND its counters to inst2.
+        flt = Filter({"nw_src": scanner}, symmetric=True)
+        op = dep.controller.move("inst1", "inst2", flt, scope="per+multi",
+                                 guarantee="lf")
+        dep.sim.run()
+        assert op.done.triggered
+        # 3 more probes at inst2.
+        for i in range(6, 9):
+            flow = FiveTuple(scanner, 40000 + i, "203.0.113.%d" % (i + 1), 22)
+            dep.inject(make_packet(flow, flags=("SYN",)))
+        dep.sim.run()
+        # Scale in: move back; counters must merge (6 ∪ 3 = 9 targets).
+        back = dep.controller.move("inst2", "inst1", flt, scope="per+multi",
+                                   guarantee="lf")
+        dep.sim.run()
+        assert back.done.triggered
+        for i in range(9, 11):
+            flow = FiveTuple(scanner, 40000 + i, "203.0.113.%d" % (i + 1), 22)
+            dep.inject(make_packet(flow, flags=("SYN",)))
+        dep.sim.run()
+        assert len(a.alerts_of("port_scan")) == 1
+
+    def test_sequential_moves_on_same_deployment(self):
+        dep, (a, b) = build_multi_instance_deployment(2)
+        trace = build_university_cloud_trace(TraceConfig(seed=11, n_flows=30))
+        replayer = TraceReplayer(dep.sim, dep.inject, trace.packets, 2500.0)
+        replayer.start()
+        flt = Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)
+        ops = []
+        dep.sim.schedule(
+            replayer.duration_ms * 0.3,
+            lambda: ops.append(dep.controller.move("inst1", "inst2", flt,
+                                                   guarantee="lf")),
+        )
+        dep.sim.schedule(
+            replayer.duration_ms * 0.7,
+            lambda: ops.append(dep.controller.move("inst2", "inst1", flt,
+                                                   guarantee="lf")),
+        )
+        dep.sim.run()
+        assert all(op.done.triggered for op in ops)
+        ok, detail = check_loss_free(dep.switch, [a, b])
+        assert ok, detail
+        # All state ended up back at inst1.
+        assert b.conn_count() == 0
+
+
+class TestSquidRebalance:
+    """The Table 1 scenario in miniature."""
+
+    def _loaded_proxies(self):
+        dep, (p1, p2) = build_multi_instance_deployment(
+            2, nf_factory=CachingProxy
+        )
+        client2 = "10.0.2.2"
+        # Client 1 and client 2 each fetch objects through proxy 1;
+        # client 2 has one transfer still in progress.
+        for i, url in enumerate(("/a", "/b")):
+            flow = FiveTuple("10.0.1.1", 5000 + i, "203.0.113.5", 80)
+            dep.inject(make_packet(flow, payload=request_payload(url, 100_000)))
+        in_progress = FiveTuple(client2, 6000, "203.0.113.5", 80)
+        dep.inject(make_packet(in_progress,
+                               payload=request_payload("/c", 500_000)))
+        dep.sim.run()
+        return dep, p1, p2, client2, in_progress
+
+    def test_ignore_multiflow_crashes_new_instance(self):
+        dep, p1, p2, client2, in_progress = self._loaded_proxies()
+        # Move only per-flow state, then reroute client2: the in-progress
+        # object is absent at p2.
+        flt = Filter({"nw_src": client2}, symmetric=True)
+        op = dep.controller.move("inst1", "inst2", flt, scope="per",
+                                 guarantee="lf")
+        dep.sim.run()
+        dep.inject(make_packet(in_progress, payload=pull_payload()))
+        dep.sim.run()
+        assert p2.failed
+
+    def test_copy_client_entries_avoids_crash(self):
+        dep, p1, p2, client2, in_progress = self._loaded_proxies()
+        flt = Filter({"nw_src": client2}, symmetric=True)
+        copy_op = dep.controller.copy("inst1", "inst2",
+                                      Filter({"nw_src": client2}), "multi")
+        dep.sim.run()
+        op = dep.controller.move("inst1", "inst2", flt, scope="per",
+                                 guarantee="lf")
+        dep.sim.run()
+        dep.inject(make_packet(in_progress, payload=pull_payload()))
+        dep.sim.run()
+        assert not p2.failed
+        assert "/c" in p2.cache
+        assert "/a" not in p2.cache  # only the client's objects came along
+
+    def test_copy_all_preserves_hit_ratio(self):
+        dep, p1, p2, client2, in_progress = self._loaded_proxies()
+        copy_op = dep.controller.copy("inst1", "inst2", Filter.wildcard(),
+                                      "multi")
+        dep.sim.run()
+        assert set(p2.cache) == set(p1.cache)
+        # A new request at p2 for a previously cached object hits.
+        flow = FiveTuple(client2, 6001, "203.0.113.5", 80)
+        p2.receive(make_packet(flow, payload=request_payload("/a", 100_000)))
+        dep.sim.run()
+        assert p2.stats["hits"] == 1
+
+
+class TestREOrderSensitivity:
+    def test_decoder_desync_without_order_preservation(self, sim):
+        """An encoded packet overtaking its reference data causes a silent
+        drop; in order, everything decodes (§5.1.2's motivation)."""
+        payload = "shared-content-" + "z" * 50
+        token = fingerprint(payload)
+
+        def raw(flow_port):
+            return make_packet(
+                FiveTuple("10.0.0.1", flow_port, "10.0.0.2", 9000),
+                payload=payload,
+            )
+
+        def encoded(flow_port):
+            packet = make_packet(
+                FiveTuple("10.0.0.1", flow_port, "10.0.0.2", 9000)
+            )
+            packet.extra_headers[RE_TOKEN_HEADER] = token
+            return packet
+
+        in_order = REDecoder(sim, "ordered")
+        in_order.receive(raw(1))
+        in_order.receive(encoded(1))
+        reordered = REDecoder(sim, "reordered")
+        reordered.receive(encoded(2))
+        reordered.receive(raw(2))
+        sim.run()
+        assert in_order.desync_drops == 0
+        assert in_order.decoded_packets == 1
+        assert reordered.desync_drops == 1
+
+
+class TestMalwareAcrossMove:
+    def test_lossfree_move_preserves_malware_detection(self):
+        """§2.1's headline: mid-flow LF move, the malware is still caught."""
+        from repro.traffic import MALWARE_BODY, http_exchange
+
+        signatures = SignatureDB(malware_signatures())
+        dep, (a, b) = build_multi_instance_deployment(
+            2, nf_factory=lambda s, n: IntrusionDetector(s, n, signatures)
+        )
+        flow = http_exchange("10.0.1.2", 1234, "203.0.113.5",
+                             reply_body=MALWARE_BODY, reply_chunk=60)
+        replayer = TraceReplayer(dep.sim, dep.inject, flow.packets, 1000.0)
+        replayer.start()
+        flt = Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)
+        dep.sim.schedule(
+            replayer.duration_ms / 2,
+            lambda: dep.controller.move("inst1", "inst2", flt, guarantee="lf"),
+        )
+        dep.sim.run()
+        assert len(b.alerts_of("malware")) == 1
+
+    def test_ng_move_can_miss_malware(self):
+        """Packets dropped by an unsafe move leave a content gap."""
+        from repro.traffic import MALWARE_BODY, http_exchange
+
+        signatures = SignatureDB(malware_signatures())
+        dep, (a, b) = build_multi_instance_deployment(
+            2, nf_factory=lambda s, n: IntrusionDetector(s, n, signatures)
+        )
+        flow = http_exchange("10.0.1.2", 1234, "203.0.113.5",
+                             reply_body=MALWARE_BODY, reply_chunk=30)
+        replayer = TraceReplayer(dep.sim, dep.inject, flow.packets, 5000.0)
+        replayer.start()
+        flt = Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)
+        dep.sim.schedule(
+            replayer.duration_ms / 2,
+            lambda: dep.controller.move("inst1", "inst2", flt, guarantee="ng"),
+        )
+        dep.sim.run()
+        total_alerts = len(a.alerts_of("malware")) + len(b.alerts_of("malware"))
+        assert total_alerts == 0

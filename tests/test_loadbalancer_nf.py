@@ -1,0 +1,146 @@
+"""Tests for the L4 load-balancer NF and its behaviour under moves."""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple
+from repro.harness import LOCAL_NET_FILTER, build_multi_instance_deployment
+from repro.nf import Scope
+from repro.nfs.lb import BackendStats, LoadBalancer
+from tests.conftest import make_packet
+
+
+BACKENDS = ("192.168.1.1", "192.168.1.2", "192.168.1.3")
+
+
+def flow(i, client="10.0.1.2"):
+    return FiveTuple(client, 40000 + i, "203.0.113.80", 80)
+
+
+class TestBalancing:
+    def test_round_robin_over_backends(self, sim):
+        lb = LoadBalancer(sim, "lb", backends=BACKENDS)
+        chosen = []
+        for i in range(6):
+            lb.receive(make_packet(flow(i), flags=("SYN",)))
+        sim.run()
+        chosen = [lb.backend_of(flow(i)) for i in range(6)]
+        assert set(chosen) == set(BACKENDS)
+        assert chosen[:3] == chosen[3:]  # rotor wraps deterministically
+
+    def test_affinity_sticks_per_flow(self, sim):
+        lb = LoadBalancer(sim, "lb", backends=BACKENDS)
+        lb.receive(make_packet(flow(0), flags=("SYN",)))
+        sim.run()
+        first = lb.backend_of(flow(0))
+        for _ in range(5):
+            lb.receive(make_packet(flow(0), payload="x"))
+        sim.run()
+        assert lb.backend_of(flow(0)) == first
+        assert lb.broken_affinity == 0
+
+    def test_fin_releases_binding(self, sim):
+        lb = LoadBalancer(sim, "lb", backends=BACKENDS)
+        lb.receive(make_packet(flow(0), flags=("SYN",)))
+        lb.receive(make_packet(flow(0), flags=("FIN", "ACK")))
+        sim.run()
+        assert lb.backend_of(flow(0)) is None
+        stats = lb._stats_for(BACKENDS[0])
+        assert stats.active_flows == 0
+        assert stats.total_flows == 1
+
+    def test_midflow_without_binding_breaks_affinity(self, sim):
+        lb = LoadBalancer(sim, "lb", backends=BACKENDS)
+        lb.receive(make_packet(flow(0), flags=("ACK",), payload="mid"))
+        sim.run()
+        assert lb.broken_affinity == 1
+
+    def test_unhealthy_backend_skipped(self, sim):
+        lb = LoadBalancer(sim, "lb", backends=BACKENDS)
+        lb._stats_for(BACKENDS[0]).healthy = False
+        for i in range(4):
+            lb.receive(make_packet(flow(i), flags=("SYN",)))
+        sim.run()
+        assert all(
+            lb.backend_of(flow(i)) != BACKENDS[0] for i in range(4)
+        )
+
+    def test_weighted_selection(self, sim):
+        lb = LoadBalancer(sim, "lb", backends=BACKENDS[:2])
+        lb._stats_for(BACKENDS[0]).weight = 3
+        for i in range(8):
+            lb.receive(make_packet(flow(i), flags=("SYN",)))
+        sim.run()
+        first = sum(1 for i in range(8)
+                    if lb.backend_of(flow(i)) == BACKENDS[0])
+        assert first == 6  # 3:1 weighting over 8 flows
+
+
+class TestLBState:
+    def test_perflow_roundtrip(self, sim):
+        a = LoadBalancer(sim, "a", backends=BACKENDS)
+        b = LoadBalancer(sim, "b", backends=BACKENDS)
+        a.receive(make_packet(flow(0), flags=("SYN",)))
+        sim.run()
+        key = a.state_keys(Scope.PERFLOW, Filter.wildcard())[0]
+        b.import_chunk(a.export_chunk(Scope.PERFLOW, key))
+        assert b.backend_of(flow(0)) == a.backend_of(flow(0))
+
+    def test_backend_stats_merge_is_idempotent_max(self):
+        mine = BackendStats("10.9.9.9")
+        mine.packets = 5
+        mine.total_flows = 2
+        theirs = BackendStats("10.9.9.9")
+        theirs.packets = 7
+        theirs.total_flows = 3
+        mine.merge_from(theirs.to_dict())
+        assert mine.packets == 7
+        assert mine.total_flows == 3
+        snapshot = mine.to_dict()
+        mine.merge_from(snapshot)
+        assert mine.packets == 7  # converged
+
+    def test_allflows_rotor_max_merge(self, sim):
+        a = LoadBalancer(sim, "a", backends=BACKENDS)
+        b = LoadBalancer(sim, "b", backends=BACKENDS)
+        for i in range(5):
+            a.receive(make_packet(flow(i), flags=("SYN",)))
+        sim.run()
+        chunk = a.export_chunk(Scope.ALLFLOWS, "rotor")
+        b.import_chunk(chunk)
+        assert b._rotor == a._rotor
+
+    def test_lossfree_move_preserves_affinity(self):
+        dep, (a, b) = build_multi_instance_deployment(
+            2, nf_factory=lambda s, n: LoadBalancer(s, n, backends=BACKENDS)
+        )
+        # Establish 6 sessions at inst1.
+        for i in range(6):
+            dep.inject(make_packet(flow(i), flags=("SYN",)))
+        dep.sim.run()
+        before = {i: a.backend_of(flow(i)) for i in range(6)}
+        op = dep.controller.move("inst1", "inst2", LOCAL_NET_FILTER,
+                                 scope="per+multi", guarantee="lf")
+        dep.sim.run()
+        assert op.done.value.aborted is None
+        # Mid-flow packets now hit inst2 and stay pinned to the same
+        # backend — no broken sessions.
+        for i in range(6):
+            dep.inject(make_packet(flow(i), flags=("ACK",), payload="more"))
+        dep.sim.run()
+        assert b.broken_affinity == 0
+        after = {i: b.backend_of(flow(i)) for i in range(6)}
+        assert after == before
+
+    def test_unsafe_reroute_breaks_sessions(self):
+        dep, (a, b) = build_multi_instance_deployment(
+            2, nf_factory=lambda s, n: LoadBalancer(s, n, backends=BACKENDS)
+        )
+        for i in range(6):
+            dep.inject(make_packet(flow(i), flags=("SYN",)))
+        dep.sim.run()
+        # Reroute without moving state.
+        dep.switch.table.install(LOCAL_NET_FILTER, 500, ["inst2"], 0.0)
+        for i in range(6):
+            dep.inject(make_packet(flow(i), flags=("ACK",), payload="more"))
+        dep.sim.run()
+        assert b.broken_affinity == 6

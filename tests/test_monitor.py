@@ -1,0 +1,127 @@
+"""Tests for the PRADS-like asset monitor."""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple, FlowId
+from repro.nf import Scope
+from repro.nfs.monitor import AssetMonitor, AssetRecord, sniff_service
+from tests.conftest import make_packet
+
+
+@pytest.fixture
+def mon(sim):
+    return AssetMonitor(sim, "mon")
+
+
+def run_packets(sim, nf, packets):
+    for packet in packets:
+        nf.receive(packet)
+    sim.run()
+
+
+class TestProcessing:
+    def test_conn_record_created_and_counted(self, sim, mon, flow):
+        run_packets(sim, mon, [make_packet(flow, flags=("SYN",)),
+                               make_packet(flow, payload="data")])
+        record = mon.conn_for(flow)
+        assert record is not None
+        assert record.packets == 2
+        assert "SYN" in record.flags_seen
+
+    def test_both_directions_share_record(self, sim, mon, flow):
+        run_packets(sim, mon, [make_packet(flow), make_packet(flow.reversed())])
+        assert mon.conn_count() == 1
+        assert mon.conn_for(flow).packets == 2
+
+    def test_assets_for_both_hosts(self, sim, mon, flow):
+        run_packets(sim, mon, [make_packet(flow, flags=("SYN",))])
+        assert mon.asset_for("10.0.1.2") is not None
+        assert mon.asset_for("203.0.113.5") is not None
+
+    def test_service_detection_attributed_to_sender(self, sim, mon, flow):
+        run_packets(sim, mon, [make_packet(flow.reversed(), payload="HTTP/1.1 200")])
+        assert "http-server" in mon.asset_for("203.0.113.5").services
+        assert "http-server" not in mon.asset_for("10.0.1.2").services
+
+    def test_global_stats(self, sim, mon, flow):
+        run_packets(sim, mon, [make_packet(flow, payload="x"),
+                               make_packet(flow)])
+        assert mon.stats["packets"] == 2
+        assert mon.stats["flows"] == 1
+        assert mon.stats["bytes"] > 0
+
+    def test_sniff_service_signatures(self):
+        assert sniff_service("HTTP/1.1 200 OK") == "http-server"
+        assert sniff_service("GET / HTTP/1.1") == "http-client"
+        assert sniff_service("SSH-2.0-OpenSSH") == "ssh"
+        assert sniff_service("garbage") == ""
+
+
+class TestStateHandlers:
+    def test_perflow_export_import_roundtrip(self, sim, flow):
+        src = AssetMonitor(sim, "src")
+        dst = AssetMonitor(sim, "dst")
+        run_packets(sim, src, [make_packet(flow, flags=("SYN",)),
+                               make_packet(flow, payload="abc")])
+        keys = src.state_keys(Scope.PERFLOW, Filter.wildcard())
+        chunk = src.export_chunk(Scope.PERFLOW, keys[0])
+        dst.import_chunk(chunk)
+        assert dst.conn_for(flow).packets == 2
+
+    def test_multiflow_merge_unions_services(self, sim, flow):
+        a = AssetMonitor(sim, "a")
+        b = AssetMonitor(sim, "b")
+        run_packets(sim, a, [make_packet(flow, payload="GET / HTTP/1.1")])
+        run_packets(sim, b, [make_packet(flow, payload="SSH-2.0")])
+        chunk = a.export_chunk(Scope.MULTIFLOW, FlowId.for_host("10.0.1.2"))
+        b.import_chunk(chunk)
+        services = b.asset_for("10.0.1.2").services
+        assert "http-client" in services and "ssh" in services
+
+    def test_allflows_merge_adds(self, sim, flow):
+        a = AssetMonitor(sim, "a")
+        b = AssetMonitor(sim, "b")
+        run_packets(sim, a, [make_packet(flow)])
+        run_packets(sim, b, [make_packet(flow), make_packet(flow)])
+        chunk = a.export_chunk(Scope.ALLFLOWS, "stats")
+        b.import_chunk(chunk)
+        assert b.stats["packets"] == 3
+
+    def test_multiflow_keys_respect_ip_filter(self, sim, flow):
+        mon = AssetMonitor(sim, "m")
+        run_packets(sim, mon, [make_packet(flow)])
+        local = mon.state_keys(
+            Scope.MULTIFLOW, Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)
+        )
+        assert FlowId.for_host("10.0.1.2") in local
+        assert FlowId.for_host("203.0.113.5") not in local
+
+    def test_perflow_delete(self, sim, mon, flow):
+        run_packets(sim, mon, [make_packet(flow)])
+        fid = FlowId.for_flow(flow.canonical())
+        assert mon.delete_by_flowid(Scope.PERFLOW, fid) == 1
+        assert mon.delete_by_flowid(Scope.PERFLOW, fid) == 0
+
+    def test_export_chunk_missing_key_returns_none(self, sim, mon, flow):
+        fid = FlowId.for_flow(flow.canonical())
+        assert mon.export_chunk(Scope.PERFLOW, fid) is None
+
+    def test_asset_record_merge_idempotent(self):
+        record = AssetRecord("10.0.0.1", 5.0)
+        record.observe(6.0, service="ssh", new_connection=True)
+        snapshot = record.to_dict()
+        record.merge_from(snapshot)
+        record.merge_from(snapshot)
+        assert record.connections == 1
+        assert record.services == ["ssh"]
+
+    def test_perflow_import_replaces(self, sim, flow):
+        a = AssetMonitor(sim, "a")
+        b = AssetMonitor(sim, "b")
+        run_packets(sim, a, [make_packet(flow), make_packet(flow)])
+        run_packets(sim, b, [make_packet(flow)])
+        chunk = a.export_chunk(
+            Scope.PERFLOW, FlowId.for_flow(flow.canonical())
+        )
+        b.import_chunk(chunk)
+        assert b.conn_for(flow).packets == 2  # replaced, not 3

@@ -1,0 +1,69 @@
+"""Tests for the southbound wire-protocol codec."""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple, FlowId
+from repro.nf import protocol
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = protocol.get_request(
+            "getPerflow", Filter({"nw_src": "10.0.0.0/8"}), compress=True
+        )
+        again = protocol.decode(protocol.encode(message))
+        assert again == message
+        assert again["op"] == "getPerflow"
+        assert again["opts"] == {"compress": True}
+
+    def test_encoding_is_canonical(self):
+        a = protocol.encode({"b": 1, "a": 2})
+        b = protocol.encode({"a": 2, "b": 1})
+        assert a == b
+
+    def test_message_size_includes_framing(self):
+        message = {"op": "x"}
+        assert protocol.message_size(message) == (
+            len(protocol.encode(message)) + protocol.FRAME_OVERHEAD_BYTES
+        )
+
+    def test_richer_filters_cost_more_bytes(self):
+        bare = protocol.get_request("getPerflow", Filter.wildcard())
+        rich = protocol.get_request(
+            "getPerflow",
+            Filter({"nw_src": "10.0.0.0/8", "nw_dst": "203.0.113.0/24",
+                    "tp_dst": 80, "nw_proto": 6}),
+        )
+        assert protocol.message_size(rich) > protocol.message_size(bare)
+
+    def test_disabled_opts_omitted(self):
+        message = protocol.get_request(
+            "getMultiflow", Filter.wildcard(),
+            lock_per_chunk=False, compress=False, stream=False,
+        )
+        assert "opts" not in message
+
+    def test_delete_request_carries_flowids(self):
+        flow = FiveTuple("10.0.1.2", 1, "10.0.1.3", 2)
+        message = protocol.delete_request(
+            "delPerflow", [FlowId.for_flow(flow)]
+        )
+        assert len(message["flowids"]) == 1
+        # More flowids -> bigger message.
+        bigger = protocol.delete_request(
+            "delPerflow", [FlowId.for_flow(flow)] * 10
+        )
+        assert protocol.message_size(bigger) > protocol.message_size(message)
+
+    def test_events_request(self):
+        message = protocol.events_request(
+            "enableEvents", Filter({"tp_dst": 80}), "drop"
+        )
+        assert message["action"] == "drop"
+        no_action = protocol.events_request("disableEvents", Filter.wildcard())
+        assert "action" not in no_action
+
+    def test_response_frame(self):
+        message = protocol.response("getPerflow", chunks=12)
+        assert message["status"] == "ok"
+        assert message["chunks"] == 12

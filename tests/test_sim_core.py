@@ -1,0 +1,168 @@
+"""Tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_runs_callback_at_time(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_callbacks_run_in_time_order(self, sim):
+        seen = []
+        sim.schedule(10.0, lambda: seen.append("b"))
+        sim.schedule(5.0, lambda: seen.append("a"))
+        sim.schedule(15.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_same_time_callbacks_run_fifo(self, sim):
+        seen = []
+        for label in ("first", "second", "third"):
+            sim.schedule(3.0, lambda l=label: seen.append(l))
+        sim.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_zero_delay_runs_at_current_time(self, sim):
+        seen = []
+        sim.schedule(0.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.0]
+
+    def test_callback_args_passed(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+    def test_nested_scheduling(self, sim):
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(2.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_cancelled_entry_does_not_run(self, sim):
+        seen = []
+        handle = sim.schedule(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_run_until_stops_clock_exactly(self, sim):
+        sim.schedule(100.0, lambda: None)
+        sim.run(until=40.0)
+        assert sim.now == 40.0
+
+    def test_run_until_preserves_pending_events(self, sim):
+        seen = []
+        sim.schedule(100.0, lambda: seen.append("late"))
+        sim.run(until=40.0)
+        assert seen == []
+        sim.run()
+        assert seen == ["late"]
+        assert sim.now == 100.0
+
+    def test_run_until_past_queue_advances_clock(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_max_events_limits_execution(self, sim):
+        seen = []
+        for i in range(5):
+            sim.schedule(float(i), lambda i=i: seen.append(i))
+        sim.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_call_at_absolute_time(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        seen = []
+        sim.call_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]
+
+    def test_events_processed_counter(self, sim):
+        for i in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+
+class TestEvent:
+    def test_event_starts_pending(self, sim):
+        evt = sim.event("x")
+        assert not evt.triggered
+        assert not evt.ok
+
+    def test_trigger_sets_value(self, sim):
+        evt = sim.event()
+        evt.trigger(42)
+        assert evt.triggered and evt.ok
+        assert evt.value == 42
+
+    def test_value_before_trigger_raises(self, sim):
+        evt = sim.event("pending")
+        with pytest.raises(SimulationError):
+            _ = evt.value
+
+    def test_double_trigger_rejected(self, sim):
+        evt = sim.event()
+        evt.trigger()
+        with pytest.raises(SimulationError):
+            evt.trigger()
+
+    def test_fail_stores_exception(self, sim):
+        evt = sim.event()
+        evt.fail(ValueError("boom"))
+        assert evt.triggered and not evt.ok
+        with pytest.raises(ValueError):
+            _ = evt.value
+
+    def test_fail_requires_exception_instance(self, sim):
+        evt = sim.event()
+        with pytest.raises(TypeError):
+            evt.fail("not an exception")
+
+    def test_callback_after_trigger_runs_immediately(self, sim):
+        evt = sim.event()
+        evt.trigger("v")
+        seen = []
+        evt.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+    def test_callbacks_fire_on_trigger(self, sim):
+        evt = sim.event()
+        seen = []
+        evt.add_callback(lambda e: seen.append("a"))
+        evt.add_callback(lambda e: seen.append("b"))
+        evt.trigger()
+        assert seen == ["a", "b"]
+
+    def test_timeout_triggers_after_delay(self, sim):
+        evt = sim.timeout(7.5, "done")
+        sim.run()
+        assert evt.value == "done"
+        assert sim.now == 7.5
+
+    def test_run_until_triggered_returns_value(self, sim):
+        evt = sim.timeout(3.0, "v")
+        sim.schedule(10.0, lambda: None)
+        assert sim.run_until_triggered(evt) == "v"
+        assert sim.now == 3.0
+
+    def test_run_until_triggered_raises_when_queue_drains(self, sim):
+        evt = sim.event("never")
+        with pytest.raises(SimulationError):
+            sim.run_until_triggered(evt)

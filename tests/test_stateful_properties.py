@@ -1,0 +1,112 @@
+"""Hypothesis stateful machine: random operation sequences stay safe.
+
+Drives a 3-instance deployment through arbitrary interleavings of
+traffic bursts and loss-free moves between random instance pairs, and
+checks the conservation invariants after every step:
+
+* no packet the switch forwarded is lost or double-processed;
+* per-flow packet counters across all instances sum to the number of
+  packets processed (state conservation through arbitrary move chains);
+* no NF ever crashes;
+* every move completes (possibly aborted — never wedged).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.flowspace import Filter, FiveTuple
+from repro.harness import build_multi_instance_deployment, check_loss_free
+from repro.net.packet import Packet, reset_uid_counter
+
+INSTANCES = ["inst1", "inst2", "inst3"]
+CLIENTS = ["10.0.1.2", "10.0.1.3", "10.0.2.2"]
+
+
+class MoveMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        reset_uid_counter()
+        self.dep, self.nfs = build_multi_instance_deployment(3)
+        self.pending_moves = []
+        self.flow_counter = 0
+
+    # ------------------------------------------------------------------ rules
+
+    @rule(
+        client=st.sampled_from(CLIENTS),
+        packets=st.integers(min_value=1, max_value=6),
+        new_flow=st.booleans(),
+    )
+    def traffic_burst(self, client, packets, new_flow):
+        if new_flow or self.flow_counter == 0:
+            self.flow_counter += 1
+        flow = FiveTuple(client, 30000 + self.flow_counter,
+                         "203.0.113.5", 80)
+        for seq in range(packets):
+            self.dep.inject(
+                Packet(flow, tcp_flags=("ACK",), seq=seq,
+                       created_at=self.dep.sim.now)
+            )
+        self.dep.sim.run()
+
+    @rule(
+        src=st.sampled_from(INSTANCES),
+        dst=st.sampled_from(INSTANCES),
+        prefix=st.sampled_from(["10.0.0.0/8", "10.0.1.0/24", "10.0.2.0/24"]),
+    )
+    def lossfree_move(self, src, dst, prefix):
+        if src == dst:
+            return
+        op = self.dep.controller.move(
+            src, dst, Filter({"nw_src": prefix}, symmetric=True),
+            scope="per", guarantee="lf",
+        )
+        self.dep.sim.run()
+        assert op.done.triggered, "move wedged"
+        assert op.done.value.aborted is None
+
+    @rule()
+    def quiesce(self):
+        self.dep.sim.run(until=self.dep.sim.now + 100.0)
+        self.dep.sim.run()
+
+    # -------------------------------------------------------------- invariants
+
+    @invariant()
+    def nothing_lost(self):
+        if not hasattr(self, "dep"):
+            return
+        self.dep.sim.run()
+        ok, detail = check_loss_free(self.dep.switch, self.nfs)
+        assert ok, detail
+
+    @invariant()
+    def state_conserved(self):
+        if not hasattr(self, "dep"):
+            return
+        total_counted = sum(
+            record.packets
+            for nf in self.nfs
+            for record in nf.conns.values()
+        )
+        total_processed = sum(nf.packets_processed for nf in self.nfs)
+        assert total_counted == total_processed
+
+    @invariant()
+    def no_crashes(self):
+        if not hasattr(self, "dep"):
+            return
+        assert not any(nf.failed for nf in self.nfs)
+
+
+MoveMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestMoveMachine = MoveMachine.TestCase

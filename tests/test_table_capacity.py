@@ -1,0 +1,109 @@
+"""Tests for the flow-table capacity limit and its baseline implications."""
+
+import pytest
+
+from repro.flowspace import Filter, FiveTuple
+from repro.harness import Deployment
+from repro.net import LOW_PRIORITY, MID_PRIORITY, Link, Switch, TableFullError
+from repro.nfs.monitor import AssetMonitor
+from repro.sim import Simulator
+from tests.conftest import make_packet
+
+
+class TestCapacityLimit:
+    def test_install_beyond_capacity_fails(self, sim):
+        switch = Switch(sim, table_capacity=2)
+        switch.attach("a", lambda p: None, Link(sim))
+        first = switch.install(Filter({"tp_dst": 1}), ["a"], MID_PRIORITY)
+        second = switch.install(Filter({"tp_dst": 2}), ["a"], MID_PRIORITY)
+        third = switch.install(Filter({"tp_dst": 3}), ["a"], MID_PRIORITY)
+        sim.run()
+        assert first.ok and second.ok
+        assert not third.ok
+        assert isinstance(third.exception, TableFullError)
+        assert switch.installs_rejected == 1
+        assert len(switch.table) == 2
+
+    def test_replacing_existing_rule_always_allowed(self, sim):
+        switch = Switch(sim, table_capacity=1)
+        switch.attach("a", lambda p: None, Link(sim))
+        switch.attach("b", lambda p: None, Link(sim))
+        switch.install(Filter.wildcard(), ["a"], MID_PRIORITY)
+        sim.run()
+        replace = switch.install(Filter.wildcard(), ["b"], MID_PRIORITY)
+        sim.run()
+        assert replace.ok
+        assert switch.table.find(Filter.wildcard(), MID_PRIORITY).actions == \
+            ("b",)
+
+    def test_unbounded_by_default(self, sim):
+        switch = Switch(sim)
+        switch.attach("a", lambda p: None, Link(sim))
+        for port in range(50):
+            switch.install(Filter({"tp_dst": port}), ["a"], MID_PRIORITY)
+        sim.run()
+        assert len(switch.table) == 50
+
+    def test_remove_frees_capacity(self, sim):
+        switch = Switch(sim, table_capacity=1)
+        switch.attach("a", lambda p: None, Link(sim))
+        switch.install(Filter({"tp_dst": 1}), ["a"], MID_PRIORITY)
+        sim.run()
+        switch.remove(Filter({"tp_dst": 1}), MID_PRIORITY)
+        sim.run()
+        again = switch.install(Filter({"tp_dst": 2}), ["a"], MID_PRIORITY)
+        sim.run()
+        assert again.ok
+
+
+class TestRerouteOnlyHitsCapacity:
+    def test_pinning_needs_per_flow_rules(self):
+        """The reroute-only baseline pins each existing flow with an
+        exact-match rule: with a small TCAM it simply cannot scale,
+        while OpenNF's move uses O(1) rules regardless of flow count."""
+        from repro.baselines import RerouteOnlyScaler
+        from repro.harness import LOCAL_NET_FILTER
+
+        dep = Deployment()
+        dep.switch.table_capacity = 10
+        src = AssetMonitor(dep.sim, "inst1")
+        dst = AssetMonitor(dep.sim, "inst2")
+        dep.add_nf(src)
+        dep.add_nf(dst)
+        dep.set_default_route("inst1")
+        for index in range(30):
+            flow = FiveTuple("10.0.1.%d" % (index + 1), 30000 + index,
+                             "203.0.113.5", 80)
+            dep.inject(make_packet(flow, flags=("SYN",)))
+        dep.sim.run()
+
+        scaler = RerouteOnlyScaler(dep.controller)
+        scaler.scale_out("inst1", "inst2", LOCAL_NET_FILTER)
+        dep.sim.run()
+        # Pin rules overflowed the table.
+        assert dep.switch.installs_rejected > 0
+
+        # An OpenNF move of the same 30 flows needs a single rule: on a
+        # fresh switch with the same tiny capacity, nothing is rejected.
+        from repro.net.packet import reset_uid_counter
+
+        reset_uid_counter()
+        dep2 = Deployment()
+        dep2.switch.table_capacity = 10
+        src2 = AssetMonitor(dep2.sim, "inst1")
+        dst2 = AssetMonitor(dep2.sim, "inst2")
+        dep2.add_nf(src2)
+        dep2.add_nf(dst2)
+        dep2.set_default_route("inst1")
+        for index in range(30):
+            flow = FiveTuple("10.0.1.%d" % (index + 1), 30000 + index,
+                             "203.0.113.5", 80)
+            dep2.inject(make_packet(flow, flags=("SYN",)))
+        dep2.sim.run()
+        op = dep2.controller.move("inst1", "inst2", LOCAL_NET_FILTER,
+                                  guarantee="lf")
+        dep2.sim.run()
+        assert op.done.triggered
+        assert op.done.value.aborted is None
+        assert dep2.switch.installs_rejected == 0
+        assert dst2.conn_count() == 30
