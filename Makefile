@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples validate clean results
+.PHONY: install test test-obs bench examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+test-obs:
+	$(PYTHON) -m pytest tests/ -m obs
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -10,10 +10,44 @@ real wall-clock runtime of the harness itself.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def trace_enabled() -> bool:
+    """Opt-in switch for benchmark tracing (``OPENNF_TRACE=1``).
+
+    Off by default so benchmark timings match the untraced seed; when
+    set, harnesses run their experiments with ``observe=True`` and dump
+    the span trees next to their result tables.
+    """
+    return os.environ.get("OPENNF_TRACE", "") not in ("", "0", "false")
+
+
+def publish_trace(name: str, obs) -> str:
+    """Write an Observability bundle's spans/records as JSON lines.
+
+    Returns the path written. No-op (returns "") when the bundle is
+    disabled or has no in-memory exporter.
+    """
+    exporter = getattr(obs, "exporter", None)
+    if not getattr(obs, "enabled", False) or exporter is None:
+        return ""
+    spans = getattr(exporter, "spans", None)
+    if spans is None:
+        return ""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name + ".trace.jsonl")
+    with open(path, "w") as handle:
+        for span in spans:
+            handle.write(json.dumps(dict(span.to_dict(), type="span")) + "\n")
+        for record in exporter.records:
+            handle.write(json.dumps(dict(record, type="record")) + "\n")
+    print("trace: wrote %d spans to %s" % (len(spans), path))
+    return path
 
 
 def format_table(

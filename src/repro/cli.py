@@ -3,13 +3,17 @@
 Usage::
 
     python -m repro.cli demo-move --guarantee op --flows 200 --rate 2500
+    python -m repro.cli trace --guarantee op --flows 100
     python -m repro.cli validate --seeds 5
     python -m repro.cli version
 
 ``demo-move`` runs one instrumented move between two PRADS-like
 monitors and prints the operation report, phases, and property-check
-verdicts. ``validate`` sweeps seeds and asserts the §5.1 guarantees
-hold (and that the no-guarantee mode demonstrably violates them).
+verdicts. ``trace`` runs the same experiment with the observability
+subsystem enabled and renders the operation's span timeline (optionally
+dumping the raw spans as JSON lines). ``validate`` sweeps seeds and
+asserts the §5.1 guarantees hold (and that the no-guarantee mode
+demonstrably violates them).
 """
 
 from __future__ import annotations
@@ -44,6 +48,21 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="zlib-compress state chunks (§8.3)")
     demo.add_argument("--peer-to-peer", action="store_true",
                       help="stream chunks NF-to-NF (footnote 10)")
+
+    trace = sub.add_parser(
+        "trace", help="run one observed move and render its span timeline"
+    )
+    trace.add_argument("--guarantee", default="op",
+                       choices=["ng", "loss-free", "op", "op-strong"],
+                       help="move safety level")
+    trace.add_argument("--flows", type=int, default=100)
+    trace.add_argument("--rate", type=float, default=2500.0,
+                       help="replay rate in packets/second")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--scope", default="per",
+                       help="state scope(s) to move (per, multi, all, ...)")
+    trace.add_argument("--json", metavar="PATH", default=None,
+                       help="also dump raw spans/records as JSON lines")
 
     validate = sub.add_parser(
         "validate", help="check the §5.1 guarantees over several seeds"
@@ -96,6 +115,63 @@ def _cmd_demo_move(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.nf.state import normalize_scope
+    from repro.obs import render_timeline
+
+    try:
+        normalize_scope(args.scope)
+        if args.json:
+            open(args.json, "w").close()
+    except (ValueError, OSError) as exc:
+        print("repro trace: error: %s" % exc, file=sys.stderr)
+        return 2
+
+    result = run_move_experiment(
+        guarantee=args.guarantee,
+        n_flows=args.flows,
+        rate_pps=args.rate,
+        seed=args.seed,
+        scope=args.scope,
+        observe=True,
+    )
+    report = result.report
+    exporter = result.deployment.obs.exporter
+    print(report.summary())
+    print()
+    print(render_timeline(exporter.spans))
+    metrics = result.deployment.obs.metrics.snapshot()
+    interesting = [
+        name for name in sorted(metrics)
+        if name.startswith(("ctrl.", "nf.packets", "chan."))
+    ]
+    if interesting:
+        print("metrics:")
+        for name in interesting:
+            series = metrics[name]["series"]
+            for labels, value in sorted(series.items()):
+                print("  %-40s %s" % (
+                    "%s{%s}" % (name, labels) if labels != "_" else name,
+                    value,
+                ))
+    if args.json:
+        with open(args.json, "w") as handle:
+            for span in exporter.spans:
+                handle.write(json.dumps(
+                    dict(span.to_dict(), type="span")) + "\n")
+            for record in exporter.records:
+                handle.write(json.dumps(
+                    dict(record, type="record")) + "\n")
+        print("wrote %d spans / %d records to %s"
+              % (len(exporter.spans), len(exporter.records), args.json))
+    if report.aborted:
+        print("ABORTED: %s" % report.aborted)
+        return 1
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     failures = 0
     for seed in range(args.seeds):
@@ -130,6 +206,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "demo-move":
         return _cmd_demo_move(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "validate":
         return _cmd_validate(args)
     return 2

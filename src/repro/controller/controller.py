@@ -37,6 +37,7 @@ from repro.nf.southbound import NFClient
 from repro.nf.state import normalize_scope
 from repro.controller.forwarding import SwitchClient
 from repro.controller.pump import ChunkPump
+from repro.obs import NULL_OBS
 from repro.sim.core import Simulator
 
 _interest_ids = itertools.count(1)
@@ -71,8 +72,10 @@ class OpenNFController:
         nf_channel_latency_ms: float = 1.0,
         sw_channel_latency_ms: float = 0.6,
         nf_channel_bandwidth_bytes_per_ms: float = 125_000.0,
+        obs=None,
     ) -> None:
         self.sim = sim
+        self.obs = obs or NULL_OBS
         self.msg_proc_ms = msg_proc_ms
         self.nf_channel_latency_ms = nf_channel_latency_ms
         self.sw_channel_latency_ms = sw_channel_latency_ms
@@ -109,11 +112,14 @@ class OpenNFController:
             self.sim,
             switch,
             to_switch=ControlChannel(
-                self.sim, name="ctrl->sw", latency_ms=self.sw_channel_latency_ms
+                self.sim, name="ctrl->sw",
+                latency_ms=self.sw_channel_latency_ms, obs=self.obs,
             ),
             from_switch=ControlChannel(
-                self.sim, name="sw->ctrl", latency_ms=self.sw_channel_latency_ms
+                self.sim, name="sw->ctrl",
+                latency_ms=self.sw_channel_latency_ms, obs=self.obs,
             ),
+            obs=self.obs,
         )
         switch.set_packet_in_handler(self.handle_packet_in)
 
@@ -131,13 +137,16 @@ class OpenNFController:
                 name="ctrl->%s" % nf.name,
                 latency_ms=self.nf_channel_latency_ms,
                 bandwidth_bytes_per_ms=self.nf_channel_bandwidth,
+                obs=self.obs,
             ),
             from_nf=ControlChannel(
                 self.sim,
                 name="%s->ctrl" % nf.name,
                 latency_ms=self.nf_channel_latency_ms,
                 bandwidth_bytes_per_ms=self.nf_channel_bandwidth,
+                obs=self.obs,
             ),
+            obs=self.obs,
         )
         nf.connect_controller(client.from_nf, self.handle_nf_event)
         self.clients[nf.name] = client
@@ -190,6 +199,8 @@ class OpenNFController:
     def handle_nf_event(self, event: PacketEvent) -> None:
         """Entry point for events arriving from NFs (already past the channel)."""
         self.events_received += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("ctrl.inbox").inc(1, kind="event")
         self.inbox.push(("event", event, None))
 
     def _dispatch_event(self, event: PacketEvent) -> None:
@@ -203,10 +214,14 @@ class OpenNFController:
     def handle_packet_in(self, packet: Packet) -> None:
         """Entry point for packet-ins from the switch."""
         self.packet_ins_received += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("ctrl.inbox").inc(1, kind="packet-in")
         self.inbox.push(("packet-in", packet, None))
 
     def enqueue_chunk(self, handler: Callable[[Any], None], chunk: Any) -> None:
         """Route a streamed state chunk through the serialized inbox."""
+        if self.obs.enabled:
+            self.obs.metrics.counter("ctrl.inbox").inc(1, kind="chunk")
         self.inbox.push(("chunk", chunk, handler))
 
     def inbox_drained(self):

@@ -48,6 +48,16 @@ class CopyOperation:
             dst=dst.name,
         )
         self.done = self.sim.event("copy-done")
+        self.obs = controller.obs
+        self.trace = self.obs.operation(
+            self.sim,
+            self.report,
+            "copy",
+            filter=repr(flt),
+            src=src.name,
+            dst=dst.name,
+            scopes=",".join(s.value for s in scopes),
+        )
         self.process = self.sim.spawn(self._run(), name="copy-op")
 
     def _scope_calls(self, scope: Scope):
@@ -71,39 +81,51 @@ class CopyOperation:
         except Exception as exc:
             self.report.aborted = "internal error: %r" % (exc,)
             self.report.finished_at = self.sim.now
+            self.trace.finish(aborted=self.report.aborted)
             self.done.fail(exc)
             raise
         self.report.finished_at = self.sim.now
+        self.trace.finish(aborted=self.report.aborted)
         self.done.trigger(self.report)
         return self.report
+
+    def _note_chunk(self, scope: Scope, chunk: StateChunk) -> None:
+        self.report.add_chunk(
+            scope.value, chunk.size_bytes, chunk.wire_size_bytes
+        )
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("ctrl.chunks.transferred").inc(1, scope=scope.value)
+            metrics.counter("ctrl.chunks.wire_bytes").inc(
+                chunk.wire_size_bytes, scope=scope.value
+            )
 
     def _run_scopes(self):
         for scope in self.scopes:
             getter, putter = self._scope_calls(scope)
-            if self.parallel:
-                put_events: List[Any] = []
+            with self.trace.phase(
+                "scope.%s" % scope.value, mark="copied-%s" % scope.value
+            ):
+                if self.parallel:
+                    put_events: List[Any] = []
 
-                def handle_chunk(chunk: StateChunk, _putter=putter, _scope=scope):
-                    self.report.add_chunk(
-                        _scope.value, chunk.size_bytes, chunk.wire_size_bytes
-                    )
-                    put_events.append(_putter([chunk]))
+                    def handle_chunk(chunk: StateChunk, _putter=putter,
+                                     _scope=scope):
+                        self._note_chunk(_scope, chunk)
+                        put_events.append(_putter([chunk]))
 
-                yield getter(
-                    self.flt,
-                    stream=lambda c: self.controller.enqueue_chunk(
-                        handle_chunk, c
-                    ),
-                    compress=self.compress,
-                )
-                yield self.controller.inbox_drained()
-                if put_events:
-                    yield AllOf(put_events)
-            else:
-                chunks = yield getter(self.flt, compress=self.compress)
-                for chunk in chunks:
-                    self.report.add_chunk(
-                        scope.value, chunk.size_bytes, chunk.wire_size_bytes
+                    yield getter(
+                        self.flt,
+                        stream=lambda c: self.controller.enqueue_chunk(
+                            handle_chunk, c
+                        ),
+                        compress=self.compress,
                     )
-                yield putter(chunks)
-            self.report.mark_phase("copied-%s" % scope.value, self.sim.now)
+                    yield self.controller.inbox_drained()
+                    if put_events:
+                        yield AllOf(put_events)
+                else:
+                    chunks = yield getter(self.flt, compress=self.compress)
+                    for chunk in chunks:
+                        self._note_chunk(scope, chunk)
+                    yield putter(chunks)

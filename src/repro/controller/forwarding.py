@@ -15,6 +15,7 @@ from repro.flowspace.filter import Filter
 from repro.net.channel import ControlChannel
 from repro.net.packet import Packet
 from repro.net.switch import Switch
+from repro.obs import NULL_OBS
 from repro.sim.core import Event, Simulator
 
 _MSG_BYTES = 128
@@ -29,11 +30,39 @@ class SwitchClient:
         switch: Switch,
         to_switch: Optional[ControlChannel] = None,
         from_switch: Optional[ControlChannel] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.switch = switch
-        self.to_switch = to_switch or ControlChannel(sim, name="ctrl->sw")
-        self.from_switch = from_switch or ControlChannel(sim, name="sw->ctrl")
+        self.obs = obs or NULL_OBS
+        self.to_switch = to_switch or ControlChannel(
+            sim, name="ctrl->sw", obs=self.obs
+        )
+        self.from_switch = from_switch or ControlChannel(
+            sim, name="sw->ctrl", obs=self.obs
+        )
+
+    def _observe_flowmod(self, kind: str, done: Event, flt: Filter) -> Event:
+        """Span one forwarding update from issue to rule-active."""
+        if not self.obs.enabled:
+            return done
+        span = self.obs.tracer.span(
+            "sw.%s" % kind, sw=self.switch.name, filter=str(flt)
+        )
+        start = self.sim.now
+        metrics = self.obs.metrics
+
+        def close(event: Event) -> None:
+            metrics.histogram("sw.flowmod_ms").observe(
+                self.sim.now - start, sw=self.switch.name, kind=kind
+            )
+            if not event.ok:
+                span.set(error=repr(event.exception))
+                span.status = "error"
+            span.finish()
+
+        done.add_callback(close)
+        return done
 
     def install(
         self, flt: Filter, actions: Sequence[str], priority: int
@@ -47,7 +76,7 @@ class SwitchClient:
             )
 
         self.to_switch.send(_MSG_BYTES, at_switch)
-        return done
+        return self._observe_flowmod("install", done, flt)
 
     def remove(self, flt: Filter, priority: Optional[int] = None) -> Event:
         """Remove rule(s); the event fires once the removal is active."""
@@ -59,7 +88,7 @@ class SwitchClient:
             )
 
         self.to_switch.send(_MSG_BYTES, at_switch)
-        return done
+        return self._observe_flowmod("remove", done, flt)
 
     def packet_out(self, packet: Packet, port: str) -> None:
         """OpenFlow packet-out: re-inject ``packet`` towards ``port``.
@@ -67,6 +96,10 @@ class SwitchClient:
         Subject first to the control-channel latency, then to the
         switch's sustained packet-out rate limit.
         """
+        if self.obs.enabled:
+            self.obs.metrics.counter("ctrl.packet_outs").inc(
+                1, sw=self.switch.name, port=port
+            )
         self.to_switch.send(
             packet.size_bytes + _MSG_BYTES, self.switch.packet_out, packet, port
         )

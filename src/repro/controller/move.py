@@ -138,6 +138,21 @@ class MoveOperation:
             dst=dst.name,
         )
         self.done = self.sim.event("move-done")
+        #: Observability bundle shared with the owning controller; phase
+        #: marks in :attr:`report` are derived from phase-span closes.
+        self.obs = controller.obs
+        self.trace = self.obs.operation(
+            self.sim,
+            self.report,
+            "move",
+            guarantee=guarantee.value,
+            filter=repr(flt),
+            src=src.name,
+            dst=dst.name,
+            scopes=",".join(s.value for s in scopes),
+        )
+        if self.trace.root.span_id is not None:
+            self.trace.root.set(op_id=self.trace.root.span_id)
 
         # Event-buffering machinery (loss-free / order-preserving).
         # One globally ordered buffer, as in Figure 6: flushing must not
@@ -227,6 +242,7 @@ class MoveOperation:
         finally:
             for handle in self._interest_handles:
                 self.controller.remove_interest(handle)
+            self.trace.finish(aborted=self.report.aborted)
         self.done.trigger(self.report)
         return self.report
 
@@ -234,13 +250,14 @@ class MoveOperation:
 
     def _run_no_guarantee(self):
         # Drop (without events) at the source for the operation window.
-        yield self.src.enable_events(self.flt, EventAction.DROP, silent=True)
-        self.report.mark_phase("locked", self.sim.now)
-        yield from self._transfer_state(lock_per_chunk=False)
-        yield self.controller.switch_client.install(
-            self.flt, [self.dst_port], MID_PRIORITY
-        )
-        self.report.mark_phase("rerouted", self.sim.now)
+        with self.trace.phase("lock", mark="locked"):
+            yield self.src.enable_events(self.flt, EventAction.DROP, silent=True)
+        with self.trace.phase("state-transfer", mark=None) as ph:
+            yield from self._transfer_state(lock_per_chunk=False, parent=ph.span)
+        with self.trace.phase("reroute", mark="rerouted"):
+            yield self.controller.switch_client.install(
+                self.flt, [self.dst_port], MID_PRIORITY
+            )
 
     # -------------------------------------------------- LF / LF+OP (Figure 6)
 
@@ -254,28 +271,35 @@ class MoveOperation:
         )
         if not self.early_release:
             # srcInst.enableEvents(filter, DROP)
-            yield self.src.enable_events(self.flt, EventAction.DROP)
-            self.report.mark_phase("events-enabled", self.sim.now)
+            with self.trace.phase("events-enabled"):
+                yield self.src.enable_events(self.flt, EventAction.DROP)
 
         # get/del/put (late-locking inside get when early_release).
-        yield from self._transfer_state(lock_per_chunk=self.early_release)
-        self.report.mark_phase("state-transferred", self.sim.now)
+        with self.trace.phase("state-transfer", mark="state-transferred") as ph:
+            yield from self._transfer_state(
+                lock_per_chunk=self.early_release, parent=ph.span
+            )
 
         # Flush events buffered at the controller; later ones forward
         # immediately. In the OP variant forwarded packets carry
         # "do-not-buffer" so dstInst processes them despite its BUFFER rule.
-        self._flush_queues(mark=order_preserving)
-        self._buffering = False
+        with self.trace.phase(
+            "event-flush", mark=None if order_preserving else "events-flushed"
+        ) as flush_ph:
+            flush_ph.span.set(buffered=len(self._event_buffer))
+            self._flush_queues(mark=order_preserving)
+            self._buffering = False
+            if not order_preserving:
+                # Ensure flushed event packets have actually left the
+                # switch (rate-capped packet-out path) before switching
+                # traffic over.
+                yield self.controller.switch_client.packet_out_barrier()
 
         if not order_preserving:
-            # Ensure flushed event packets have actually left the switch
-            # (rate-capped packet-out path) before switching traffic over.
-            yield self.controller.switch_client.packet_out_barrier()
-            self.report.mark_phase("events-flushed", self.sim.now)
-            yield self.controller.switch_client.install(
-                self.flt, [self.dst_port], MID_PRIORITY
-            )
-            self.report.mark_phase("rerouted", self.sim.now)
+            with self.trace.phase("reroute", mark="rerouted"):
+                yield self.controller.switch_client.install(
+                    self.flt, [self.dst_port], MID_PRIORITY
+                )
             return
 
         # dstInst.enableEvents(filter, BUFFER)
@@ -284,60 +308,75 @@ class MoveOperation:
                 self.dst.name, self.flt, self._on_dst_event
             )
         )
-        yield self.dst.enable_events(self.flt, EventAction.BUFFER)
-        self.report.mark_phase("dst-buffering", self.sim.now)
+        with self.trace.phase("dst-buffering"):
+            yield self.dst.enable_events(self.flt, EventAction.BUFFER)
 
-        # Phase 1: sw.install(filter, {srcInst, ctrl}, LOW_PRIORITY).
-        self._interest_handles.append(
-            self.controller.add_packet_interest(self.flt, self._on_packet_in)
-        )
-        yield self.controller.switch_client.install(
-            self.flt, [self.src_port, CONTROLLER_PORT], MID_PRIORITY
-        )
-        self.report.mark_phase("phase1-installed", self.sim.now)
-
-        # wait(GOT_FIRST_PKT_FROM_SW) — with a timeout so a silent flow
-        # space cannot wedge the operation (the paper assumes traffic).
-        yield AnyOf(
-            [
-                self._first_packet_event,
-                self.sim.timeout(self.first_packet_timeout_ms),
-            ]
-        )
-
-        # Phase 2: sw.install(filter, dstInst, HIGH_PRIORITY).
-        yield self.controller.switch_client.install(
-            self.flt, [self.dst_port], HIGH_PRIORITY
-        )
-        self.report.mark_phase("phase2-installed", self.sim.now)
-
-        # Footnote 9: confirm via rule counters that the stored packet is
-        # really the last one forwarded to srcInst.
-        while True:
-            packets, _bytes = yield self.controller.switch_client.read_counters(
-                self.flt, MID_PRIORITY
+        with self.trace.phase("forwarding-update", mark=None) as fwd:
+            # Phase 1: sw.install(filter, {srcInst, ctrl}, LOW_PRIORITY).
+            self._interest_handles.append(
+                self.controller.add_packet_interest(self.flt, self._on_packet_in)
             )
-            if packets == self._packet_in_count:
-                break
-            yield self.counter_poll_ms
+            with self.trace.phase(
+                "phase1-install", mark="phase1-installed", parent=fwd.span
+            ):
+                yield self.controller.switch_client.install(
+                    self.flt, [self.src_port, CONTROLLER_PORT], MID_PRIORITY
+                )
 
-        if self._packet_in_count > 0:
-            last_uid = self._last_packet.uid
-            # wait for srcInst's event for the last packet (it is then
-            # forwarded to dstInst by _on_src_event, marked do-not-buffer).
-            if last_uid not in self._src_evented_uids:
-                waiter = self.sim.event("await-src-last")
-                self._await_src = (last_uid, waiter)
-                yield waiter
-            # wait(DST_PROCESSED_LAST_PKT)
-            if last_uid not in self._dst_processed_uids:
-                waiter = self.sim.event("await-dst-last")
-                self._await_dst = (last_uid, waiter)
-                yield waiter
+            # wait(GOT_FIRST_PKT_FROM_SW) — with a timeout so a silent flow
+            # space cannot wedge the operation (the paper assumes traffic).
+            with self.trace.phase(
+                "await-first-packet", mark=None, parent=fwd.span
+            ):
+                yield AnyOf(
+                    [
+                        self._first_packet_event,
+                        self.sim.timeout(self.first_packet_timeout_ms),
+                    ]
+                )
+
+            # Phase 2: sw.install(filter, dstInst, HIGH_PRIORITY).
+            with self.trace.phase(
+                "phase2-install", mark="phase2-installed", parent=fwd.span
+            ):
+                yield self.controller.switch_client.install(
+                    self.flt, [self.dst_port], HIGH_PRIORITY
+                )
+
+            with self.trace.phase(
+                "await-last-packet", mark=None, parent=fwd.span
+            ) as await_ph:
+                # Footnote 9: confirm via rule counters that the stored
+                # packet is really the last one forwarded to srcInst.
+                while True:
+                    packets, _bytes = (
+                        yield self.controller.switch_client.read_counters(
+                            self.flt, MID_PRIORITY
+                        )
+                    )
+                    if packets == self._packet_in_count:
+                        break
+                    yield self.counter_poll_ms
+
+                await_ph.span.set(packet_ins=self._packet_in_count)
+                if self._packet_in_count > 0:
+                    last_uid = self._last_packet.uid
+                    # wait for srcInst's event for the last packet (it is
+                    # then forwarded to dstInst by _on_src_event, marked
+                    # do-not-buffer).
+                    if last_uid not in self._src_evented_uids:
+                        waiter = self.sim.event("await-src-last")
+                        self._await_src = (last_uid, waiter)
+                        yield waiter
+                    # wait(DST_PROCESSED_LAST_PKT)
+                    if last_uid not in self._dst_processed_uids:
+                        waiter = self.sim.event("await-dst-last")
+                        self._await_dst = (last_uid, waiter)
+                        yield waiter
 
         # dstInst.disableEvents(filter): release the destination buffer.
-        yield self.dst.disable_events(self.flt)
-        self.report.mark_phase("dst-released", self.sim.now)
+        with self.trace.phase("dst-release", mark="dst-released"):
+            yield self.dst.disable_events(self.flt)
 
     # ------------------------------------- strong OP (technical report, §5.1.2)
 
@@ -384,49 +423,65 @@ class MoveOperation:
             )
         )
         # 1. Redirect the flow space through the controller.
-        yield self.controller.switch_client.install(
-            self.flt, [CONTROLLER_PORT], MID_PRIORITY
-        )
-        self.report.mark_phase("redirected", self.sim.now)
+        with self.trace.phase("redirect", mark="redirected"):
+            yield self.controller.switch_client.install(
+                self.flt, [CONTROLLER_PORT], MID_PRIORITY
+            )
         # 2. Surface in-flight stragglers as events.
-        yield self.src.enable_events(self.flt, EventAction.DROP)
-        self.report.mark_phase("events-enabled", self.sim.now)
+        with self.trace.phase("events-enabled"):
+            yield self.src.enable_events(self.flt, EventAction.DROP)
 
         # 3. Transfer state (same pipeline as the LF path).
-        yield from self._transfer_state(lock_per_chunk=self.early_release)
-        self.report.mark_phase("state-transferred", self.sim.now)
+        with self.trace.phase("state-transfer", mark="state-transferred") as ph:
+            yield from self._transfer_state(
+                lock_per_chunk=self.early_release, parent=ph.span
+            )
 
-        yield self.dst.enable_events(self.flt, EventAction.BUFFER)
+        with self.trace.phase("dst-buffering", mark=None):
+            yield self.dst.enable_events(self.flt, EventAction.BUFFER)
 
         # Replay: src-event stragglers first (earlier in switch order),
         # then the controller's redirect buffer, marked do-not-buffer.
-        self._flush_queues(mark=True)          # src events
-        ctrl_buffered, self._ctrl_buffer = self._ctrl_buffer, []
-        for packet in ctrl_buffered:
-            self._forward_to_dst(packet, True)
-        self._buffering = False                # later arrivals: immediate
+        with self.trace.phase("event-flush", mark=None) as flush_ph:
+            flush_ph.span.set(
+                buffered=len(self._event_buffer),
+                redirected=len(self._ctrl_buffer),
+            )
+            self._flush_queues(mark=True)      # src events
+            ctrl_buffered, self._ctrl_buffer = self._ctrl_buffer, []
+            if ctrl_buffered and self.obs.enabled:
+                self.obs.metrics.counter(
+                    "ctrl.move.buffered_packets_released"
+                ).inc(len(ctrl_buffered))
+            for packet in ctrl_buffered:
+                self._forward_to_dst(packet, True)
+            self._buffering = False            # later arrivals: immediate
 
         # 4. Hand the flow space to the destination.
-        yield self.controller.switch_client.install(
-            self.flt, [self.dst_port], HIGH_PRIORITY
-        )
-        self.report.mark_phase("rerouted", self.sim.now)
-        # Confirm the controller saw every redirected packet.
-        while True:
-            packets, _bytes = yield self.controller.switch_client.read_counters(
-                self.flt, MID_PRIORITY
+        with self.trace.phase("reroute", mark="rerouted"):
+            yield self.controller.switch_client.install(
+                self.flt, [self.dst_port], HIGH_PRIORITY
             )
-            if packets == self._packet_in_count:
-                break
-            yield self.counter_poll_ms
-        if self._last_packet is not None:
-            last_uid = self._last_packet.uid
-            if last_uid not in self._dst_processed_uids:
-                waiter = self.sim.event("await-dst-last-strong")
-                self._await_dst = (last_uid, waiter)
-                yield waiter
-        yield self.dst.disable_events(self.flt)
-        self.report.mark_phase("dst-released", self.sim.now)
+        with self.trace.phase("await-last-packet", mark=None) as await_ph:
+            # Confirm the controller saw every redirected packet.
+            while True:
+                packets, _bytes = (
+                    yield self.controller.switch_client.read_counters(
+                        self.flt, MID_PRIORITY
+                    )
+                )
+                if packets == self._packet_in_count:
+                    break
+                yield self.counter_poll_ms
+            await_ph.span.set(packet_ins=self._packet_in_count)
+            if self._last_packet is not None:
+                last_uid = self._last_packet.uid
+                if last_uid not in self._dst_processed_uids:
+                    waiter = self.sim.event("await-dst-last-strong")
+                    self._await_dst = (last_uid, waiter)
+                    yield waiter
+        with self.trace.phase("dst-release", mark="dst-released"):
+            yield self.dst.disable_events(self.flt)
 
     def _on_strong_packet_in(self, packet: Packet) -> None:
         self._packet_in_count += 1
@@ -434,61 +489,80 @@ class MoveOperation:
         self.report.packets_in_events += 1
         self.report.affected_uids.add(packet.uid)
         if self._buffering:
+            if self.obs.enabled:
+                self.obs.metrics.counter(
+                    "ctrl.move.buffered_packets_captured"
+                ).inc(1)
             self._ctrl_buffer.append(packet)
         else:
             self._forward_to_dst(packet, True)
 
     # --------------------------------------------------------- state transfer
 
-    def _transfer_state(self, lock_per_chunk: bool):
+    def _note_chunk(self, scope: Scope, chunk: StateChunk) -> None:
+        """Account one exported chunk (report + transfer metrics)."""
+        self.report.add_chunk(
+            scope.value, chunk.size_bytes, chunk.wire_size_bytes
+        )
+        self._exported_chunks.append(chunk)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("ctrl.chunks.transferred").inc(1, scope=scope.value)
+            metrics.counter("ctrl.chunks.wire_bytes").inc(
+                chunk.wire_size_bytes, scope=scope.value
+            )
+
+    def _transfer_state(self, lock_per_chunk: bool, parent=None):
         silent_lock = self.guarantee is Guarantee.NONE
         for scope in self.scopes:
             getter, putter, deleter = self._scope_calls(scope)
-            if self.peer_to_peer:
-                yield from self._transfer_scope_peer(
-                    scope, getter, deleter, lock_per_chunk, silent_lock
-                )
-            elif self.parallel:
-                put_events: List[Any] = []
-
-                def handle_chunk(chunk: StateChunk, _putter=putter, _scope=scope):
-                    self.report.add_chunk(
-                        _scope.value, chunk.size_bytes, chunk.wire_size_bytes
+            exported_before = len(self._exported_chunks)
+            with self.trace.phase(
+                "transfer.%s" % scope.value, mark=None, parent=parent
+            ) as scope_ph:
+                if self.peer_to_peer:
+                    yield from self._transfer_scope_peer(
+                        scope, getter, deleter, lock_per_chunk, silent_lock
                     )
-                    self._exported_chunks.append(chunk)
-                    put_event = _putter([chunk])
-                    if self.early_release:
-                        put_event.add_callback(
-                            lambda _evt, c=chunk: self._release_flow(c.flowid)
-                        )
-                    put_events.append(put_event)
+                elif self.parallel:
+                    put_events: List[Any] = []
 
-                # Each streamed chunk passes through the controller's
-                # serialized inbox before its put is issued (§8.3).
-                chunks = yield getter(
-                    self.flt,
-                    stream=lambda c: self.controller.enqueue_chunk(
-                        handle_chunk, c
-                    ),
-                    lock_per_chunk=lock_per_chunk,
-                    lock_silent=silent_lock,
-                    compress=self.compress,
-                )
-                if deleter is not None and chunks:
-                    yield deleter([c.flowid for c in chunks if c.flowid])
-                yield self.controller.inbox_drained()
-                if put_events:
-                    yield AllOf(put_events)
-            else:
-                chunks = yield getter(self.flt, compress=self.compress)
-                for chunk in chunks:
-                    self.report.add_chunk(
-                        scope.value, chunk.size_bytes, chunk.wire_size_bytes
+                    def handle_chunk(chunk: StateChunk, _putter=putter,
+                                     _scope=scope):
+                        self._note_chunk(_scope, chunk)
+                        put_event = _putter([chunk])
+                        if self.early_release:
+                            put_event.add_callback(
+                                lambda _evt, c=chunk: self._release_flow(c.flowid)
+                            )
+                        put_events.append(put_event)
+
+                    # Each streamed chunk passes through the controller's
+                    # serialized inbox before its put is issued (§8.3).
+                    chunks = yield getter(
+                        self.flt,
+                        stream=lambda c: self.controller.enqueue_chunk(
+                            handle_chunk, c
+                        ),
+                        lock_per_chunk=lock_per_chunk,
+                        lock_silent=silent_lock,
+                        compress=self.compress,
                     )
-                self._exported_chunks.extend(chunks)
-                if deleter is not None and chunks:
-                    yield deleter([c.flowid for c in chunks if c.flowid])
-                yield putter(chunks)
+                    if deleter is not None and chunks:
+                        yield deleter([c.flowid for c in chunks if c.flowid])
+                    yield self.controller.inbox_drained()
+                    if put_events:
+                        yield AllOf(put_events)
+                else:
+                    chunks = yield getter(self.flt, compress=self.compress)
+                    for chunk in chunks:
+                        self._note_chunk(scope, chunk)
+                    if deleter is not None and chunks:
+                        yield deleter([c.flowid for c in chunks if c.flowid])
+                    yield putter(chunks)
+                scope_ph.span.set(
+                    chunks=len(self._exported_chunks) - exported_before
+                )
 
     def _transfer_scope_peer(
         self, scope, getter, deleter, lock_per_chunk, silent_lock
@@ -507,6 +581,7 @@ class MoveOperation:
             name="%s->%s" % (self.src.name, self.dst.name),
             latency_ms=self.controller.nf_channel_latency_ms,
             bandwidth_bytes_per_ms=self.controller.nf_channel_bandwidth,
+            obs=self.obs,
         )
         put_events: List[Any] = []
 
@@ -522,10 +597,7 @@ class MoveOperation:
                 put_process.done.add_callback(notify_release)
 
         def ship(chunk: StateChunk) -> None:
-            self.report.add_chunk(
-                scope.value, chunk.size_bytes, chunk.wire_size_bytes
-            )
-            self._exported_chunks.append(chunk)
+            self._note_chunk(scope, chunk)
             peer.send(chunk.wire_size_bytes + 74, deliver, chunk)
 
         chunks = yield getter(
@@ -578,6 +650,10 @@ class MoveOperation:
             ):
                 self._forward_to_dst(packet, mark)
             else:
+                if self.obs.enabled:
+                    self.obs.metrics.counter(
+                        "ctrl.move.buffered_packets_captured"
+                    ).inc(1)
                 self._event_buffer.append(packet)
         else:
             self._forward_to_dst(packet, mark)
@@ -617,16 +693,26 @@ class MoveOperation:
             Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
         )
         kept: List[Packet] = []
+        released = 0
         for packet in self._event_buffer:
             if release_filter.matches_packet(packet):
                 self._forward_to_dst(packet, mark)
+                released += 1
             else:
                 kept.append(packet)
         self._event_buffer = kept
+        if released and self.obs.enabled:
+            self.obs.metrics.counter(
+                "ctrl.move.buffered_packets_released"
+            ).inc(released)
 
     def _flush_queues(self, mark: bool, port: Optional[str] = None) -> None:
         target = self.dst_port if port is None else port
         buffered, self._event_buffer = self._event_buffer, []
+        if buffered and self.obs.enabled:
+            self.obs.metrics.counter(
+                "ctrl.move.buffered_packets_released"
+            ).inc(len(buffered))
         for packet in buffered:
             if mark:
                 packet.mark(DO_NOT_BUFFER)
@@ -635,21 +721,22 @@ class MoveOperation:
     # ----------------------------------------------------------------- cleanup
 
     def _cleanup(self):
-        yield self.drain_grace_ms
-        if self.guarantee in (
-            Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
-        ):
-            # The phase-1 {src, ctrl} rule is shadowed by the HIGH rule;
-            # retire it so later operations start from a clean table.
-            yield self.controller.switch_client.remove(self.flt, MID_PRIORITY)
-        # Remove the source's event rules (global and late-locked per-flow).
-        yield self.src.disable_events_covered(self.flt)
-        # Flush anything that trickled in during the grace period.
-        self._flush_queues(mark=self.guarantee is Guarantee.ORDER_PRESERVING)
-        self.report.packets_dropped = (
-            self.src.nf.packets_dropped_silent - self._src_drops_at_start
-        )
-        buffered = self.dst.nf.buffered_log[self._dst_buffered_at_start :]
-        self.report.packets_buffered_at_dst = len(buffered)
-        for _time, uid in buffered:
-            self.report.affected_uids.add(uid)
+        with self.trace.phase("cleanup", mark=None):
+            yield self.drain_grace_ms
+            if self.guarantee in (
+                Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
+            ):
+                # The phase-1 {src, ctrl} rule is shadowed by the HIGH rule;
+                # retire it so later operations start from a clean table.
+                yield self.controller.switch_client.remove(self.flt, MID_PRIORITY)
+            # Remove the source's event rules (global and late-locked per-flow).
+            yield self.src.disable_events_covered(self.flt)
+            # Flush anything that trickled in during the grace period.
+            self._flush_queues(mark=self.guarantee is Guarantee.ORDER_PRESERVING)
+            self.report.packets_dropped = (
+                self.src.nf.packets_dropped_silent - self._src_drops_at_start
+            )
+            buffered = self.dst.nf.buffered_log[self._dst_buffered_at_start :]
+            self.report.packets_buffered_at_dst = len(buffered)
+            for _time, uid in buffered:
+                self.report.affected_uids.add(uid)

@@ -75,6 +75,16 @@ class ShareOperation:
         self.packets_serialized = 0
         self.started = self.sim.event("share-started")
         self.stopped = self.sim.event("share-stopped")
+        self.obs = controller.obs
+        self.trace = self.obs.operation(
+            self.sim,
+            self.report,
+            "share",
+            consistency=consistency,
+            group_by=group_by,
+            filter=repr(flt),
+            instances=",".join(i.name for i in instances),
+        )
         self._queues: "OrderedDict[Any, Deque[Tuple[str, Packet, float]]]" = (
             OrderedDict()
         )
@@ -89,6 +99,11 @@ class ShareOperation:
 
     def _setup(self):
         self.report.started_at = self.sim.now
+        with self.trace.phase("sync", mark="synchronized"):
+            yield from self._setup_body()
+        self.started.trigger()
+
+    def _setup_body(self):
         for client in self.instances:
             self._interest_handles.append(
                 self.controller.add_event_interest(
@@ -146,8 +161,6 @@ class ShareOperation:
                     puts.append(self._put(client, chunks))
         if puts:
             yield AllOf(puts)
-        self.report.mark_phase("synchronized", self.sim.now)
-        self.started.trigger()
 
     def _get(self, client, scope: Scope, flt: Optional[Filter] = None):
         flt = flt or self.flt
@@ -226,30 +239,42 @@ class ShareOperation:
         while queue:
             origin_name, packet, enqueued_at = queue.popleft()
             origin = next(c for c in self.instances if c.name == origin_name)
-            if self.consistency == "strong":
-                packet.mark(DO_NOT_DROP)
-            waiter = self.sim.event("share-processed")
-            self._awaiting[(origin_name, packet.uid)] = waiter
-            self.controller.switch_client.packet_out(
-                packet, self.controller.port_of(origin_name)
-            )
-            yield waiter
-            # Pull the updated state from the origin and push it to peers
-            # in parallel (why added latency is flat in instance count).
-            sync_filter = Filter.for_flow(packet.five_tuple, symmetric=True)
-            puts = []
-            for scope in self.scopes:
-                chunks = yield self._get(origin, scope, sync_filter)
-                if not chunks:
-                    continue
-                for client in self.instances:
-                    if client.name != origin_name:
-                        puts.append(self._put(client, chunks))
-            if puts:
-                yield AllOf(puts)
-            self.packets_serialized += 1
-            self.latency_samples.append(self.sim.now - enqueued_at)
-            self.report.affected_uids.add(packet.uid)
+            with self.trace.phase(
+                "update",
+                mark=None,
+                nf=origin_name,
+                uid=packet.uid,
+                group=str(key),
+            ):
+                if self.consistency == "strong":
+                    packet.mark(DO_NOT_DROP)
+                waiter = self.sim.event("share-processed")
+                self._awaiting[(origin_name, packet.uid)] = waiter
+                self.controller.switch_client.packet_out(
+                    packet, self.controller.port_of(origin_name)
+                )
+                yield waiter
+                # Pull the updated state from the origin and push it to
+                # peers in parallel (why added latency is flat in
+                # instance count).
+                sync_filter = Filter.for_flow(packet.five_tuple, symmetric=True)
+                puts = []
+                for scope in self.scopes:
+                    chunks = yield self._get(origin, scope, sync_filter)
+                    if not chunks:
+                        continue
+                    for client in self.instances:
+                        if client.name != origin_name:
+                            puts.append(self._put(client, chunks))
+                if puts:
+                    yield AllOf(puts)
+                self.packets_serialized += 1
+                self.latency_samples.append(self.sim.now - enqueued_at)
+                self.report.affected_uids.add(packet.uid)
+                if self.obs.enabled:
+                    self.obs.metrics.counter(
+                        "ctrl.share.updates"
+                    ).inc(1, nf=origin_name)
         self._group_busy[key] = False
 
     # --------------------------------------------------------------------- stop
@@ -277,6 +302,7 @@ class ShareOperation:
         if restores:
             yield AllOf(restores)
         self.report.finished_at = self.sim.now
+        self.trace.finish(aborted=self.report.aborted)
         self.stopped.trigger(self.report)
 
     # ------------------------------------------------------------------ metrics

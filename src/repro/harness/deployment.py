@@ -20,6 +20,7 @@ from repro.net.switch import Switch
 from repro.nf.base import NetworkFunction
 from repro.nf.southbound import NFClient
 from repro.controller.controller import OpenNFController
+from repro.obs import Observability
 from repro.sim.core import Simulator
 
 
@@ -36,13 +37,20 @@ class Deployment:
         nf_channel_latency_ms: float = 1.0,
         sw_channel_latency_ms: float = 0.6,
         nf_channel_bandwidth_bytes_per_ms: float = 125_000.0,
+        observe: bool = False,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sim = sim or Simulator()
+        #: One shared observability bundle; disabled unless ``observe=True``
+        #: (or a pre-built ``obs`` is passed in), in which case spans land
+        #: in ``self.obs.exporter``.
+        self.obs = obs or Observability(sim=self.sim, enabled=observe)
         self.switch = Switch(
             self.sim,
             name="sw",
             flowmod_delay_ms=flowmod_delay_ms,
             packet_out_rate_pps=packet_out_rate_pps,
+            obs=self.obs,
         )
         self.controller = OpenNFController(
             self.sim,
@@ -51,6 +59,7 @@ class Deployment:
             nf_channel_latency_ms=nf_channel_latency_ms,
             sw_channel_latency_ms=sw_channel_latency_ms,
             nf_channel_bandwidth_bytes_per_ms=nf_channel_bandwidth_bytes_per_ms,
+            obs=self.obs,
         )
         self.nf_link_latency_ms = nf_link_latency_ms
         self.nfs: Dict[str, NetworkFunction] = {}
@@ -65,6 +74,7 @@ class Deployment:
         link = Link(
             self.sim, name="sw->%s" % nf.name, latency_ms=latency
         )
+        nf.obs = self.obs
         self.switch.attach(nf.name, nf.receive, link)
         self.nfs[nf.name] = nf
         return self.controller.register_nf(nf, port=nf.name)

@@ -56,14 +56,19 @@ def run_move_experiment(
     deployment_kwargs: Optional[Dict[str, Any]] = None,
     operation: Optional[Callable[[Deployment], Any]] = None,
     scope: str = "per",
+    observe: bool = False,
 ) -> MoveExperimentResult:
     """Replay a trace to instance 1, move flows to instance 2 mid-trace.
 
     ``operation`` may override the default move (e.g. to run a
     Split/Merge migrate instead); it receives the deployment and must
     return an object with a ``done`` event carrying an OperationReport.
+    ``observe=True`` enables tracing/metrics; the collected spans are at
+    ``result.deployment.obs.exporter.spans``.
     """
-    dep = Deployment(**(deployment_kwargs or {}))
+    kwargs = dict(deployment_kwargs or {})
+    kwargs.setdefault("observe", observe)
+    dep = Deployment(**kwargs)
     src = nf_factory(dep.sim, "inst1")
     dst = nf_factory(dep.sim, "inst2")
     dep.add_nf(src)

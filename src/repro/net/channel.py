@@ -10,8 +10,9 @@ and the compression discussion of §8.3 reproducible.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
+from repro.obs import NULL_OBS
 from repro.sim.core import Simulator
 
 #: 1 Gbps expressed in bytes per millisecond.
@@ -27,11 +28,13 @@ class ControlChannel:
         name: str = "",
         latency_ms: float = 0.5,
         bandwidth_bytes_per_ms: float = GIGABIT_BYTES_PER_MS,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.latency_ms = latency_ms
         self.bandwidth_bytes_per_ms = bandwidth_bytes_per_ms
+        self.obs = obs or NULL_OBS
         self.messages_sent = 0
         self.bytes_sent = 0
         self._busy_until = 0.0
@@ -59,5 +62,13 @@ class ControlChannel:
         transmit = size_bytes / self.bandwidth_bytes_per_ms
         self._busy_until = start + transmit
         arrival = self._busy_until + self.latency_ms
-        self.sim.schedule(arrival - self.sim.now, deliver, *args)
-        return arrival - self.sim.now
+        delay = arrival - self.sim.now
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("chan.messages").inc(1, channel=self.name)
+            metrics.counter("chan.bytes").inc(size_bytes, channel=self.name)
+            metrics.histogram("chan.transfer_ms").observe(
+                delay, channel=self.name
+            )
+        self.sim.schedule(delay, deliver, *args)
+        return delay

@@ -28,6 +28,7 @@ from repro.net.channel import ControlChannel
 from repro.net.flowtable import FlowEntry, FlowTable
 from repro.net.link import Link
 from repro.net.packet import Packet
+from repro.obs import NULL_OBS
 from repro.sim.core import Event, Simulator
 
 CONTROLLER_PORT = "controller"
@@ -65,9 +66,11 @@ class Switch:
         packet_out_rate_pps: float = 4000.0,
         control_channel: Optional[ControlChannel] = None,
         table_capacity: Optional[int] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.name = name
+        self.obs = obs or NULL_OBS
         self.table = FlowTable()
         #: Maximum rules the table holds (None = unbounded, the default).
         self.table_capacity = table_capacity
@@ -75,7 +78,7 @@ class Switch:
         self.flowmod_delay_ms = flowmod_delay_ms
         self.packet_out_interval_ms = 1000.0 / packet_out_rate_pps
         self.control_channel = control_channel or ControlChannel(
-            sim, name="%s-ctrl" % name
+            sim, name="%s-ctrl" % name, obs=self.obs
         )
         self._ports: Dict[str, Port] = {}
         self._packet_in_handler: Optional[Callable[[Packet], None]] = None
@@ -114,9 +117,17 @@ class Switch:
         entry = self.table.lookup(packet)
         if entry is None:
             self.table_misses += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("sw.table_misses").inc(1, sw=self.name)
             return
         entry.count(packet)
         self.forward_log.append((self.sim.now, packet.uid, entry.actions))
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            for action in entry.actions:
+                metrics.counter("sw.forwarded").inc(
+                    1, sw=self.name, port=action
+                )
         for action in entry.actions:
             self._output(packet, action)
 
@@ -169,6 +180,10 @@ class Switch:
             ))
             return
         self.table.install(flt, priority, actions, self.sim.now)
+        if self.obs.enabled:
+            self.obs.metrics.counter("sw.flowmods").inc(
+                1, sw=self.name, kind="install"
+            )
         done.trigger()
 
     def remove(self, flt: Filter, priority: Optional[int] = None) -> Event:
@@ -180,6 +195,10 @@ class Switch:
 
     def _apply_remove(self, flt: Filter, priority: Optional[int], done: Event) -> None:
         self.table.remove(flt, priority)
+        if self.obs.enabled:
+            self.obs.metrics.counter("sw.flowmods").inc(
+                1, sw=self.name, kind="remove"
+            )
         done.trigger()
 
     def packet_out(self, packet: Packet, port_name: str) -> None:
@@ -215,6 +234,10 @@ class Switch:
             return
         packet, port_name = self._packet_out_queue.popleft()
         self.packet_outs += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("sw.packet_outs").inc(
+                1, sw=self.name, port=port_name
+            )
         self.forward_log.append((self.sim.now, packet.uid, (port_name,)))
         self._output(packet, port_name)
         self.sim.schedule(self.packet_out_interval_ms, self._drain_packet_out)

@@ -30,6 +30,7 @@ from repro.nf.costs import NFCostModel
 from repro.nf.events import EventAction, EventRule, PacketEvent
 from repro.nf.state import Scope, StateChunk
 from repro.net.packet import Packet
+from repro.obs import NULL_OBS
 from repro.sim.core import Event, Simulator
 
 
@@ -53,6 +54,9 @@ class NetworkFunction:
         self.sim = sim
         self.name = name
         self.costs = costs
+        #: Observability bundle; the deployment swaps in its own when
+        #: the NF is attached (disabled singleton until then).
+        self.obs = NULL_OBS
         self.failed = False
         self.failure_reason: Optional[str] = None
         # Input path.
@@ -123,6 +127,10 @@ class NetworkFunction:
             self._begin_processing(packet, None if rule.silent else rule)
         elif action is EventAction.DROP:
             self.packets_dropped_by_event += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("nf.packets.dropped").inc(
+                    1, nf=self.name, mode="silent" if rule.silent else "evented"
+                )
             if rule.silent:
                 self.packets_dropped_silent += 1
                 self.sim.schedule(self.costs.disposition_ms, self._drain)
@@ -135,6 +143,12 @@ class NetworkFunction:
         else:  # BUFFER
             self.packets_buffered_by_event += 1
             self.buffered_log.append((self.sim.now, packet.uid))
+            if self.obs.enabled:
+                self.obs.metrics.counter("nf.packets.buffered").inc(
+                    1, nf=self.name
+                )
+                self.obs.tracer.record("nf.buffer", nf=self.name,
+                                       uid=packet.uid)
             self._rule_buffers.setdefault(id(rule), []).append(packet)
             self.sim.schedule(self.costs.disposition_ms, self._drain)
 
@@ -156,6 +170,11 @@ class NetworkFunction:
         self.packets_processed += 1
         self.processing_log.append((self.sim.now, packet.uid))
         self.proc_durations.append((self.sim.now, duration))
+        if self.obs.enabled:
+            self.obs.metrics.counter("nf.packets.processed").inc(
+                1, nf=self.name
+            )
+            self.obs.tracer.record("nf.process", nf=self.name, uid=packet.uid)
         if rule is not None:
             self._raise_event(packet, EventAction.PROCESS)
         self._drain()
@@ -170,6 +189,10 @@ class NetworkFunction:
 
     def _raise_event(self, packet: Packet, action: EventAction) -> None:
         self.events_raised += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("nf.events.raised").inc(
+                1, nf=self.name, action=action.value
+            )
         if self.event_sink is None:
             return
         event = PacketEvent(self.name, packet, action, self.sim.now)
@@ -204,6 +227,10 @@ class NetworkFunction:
             else:
                 kept.append(rule)
         self._event_rules = kept
+        if released and self.obs.enabled:
+            self.obs.metrics.counter("nf.packets.released").inc(
+                len(released), nf=self.name
+            )
         for packet in reversed(released):
             self._queue.appendleft(packet)
         if released:

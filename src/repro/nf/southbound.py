@@ -19,6 +19,11 @@ chunk to the controller the moment it is serialized instead of batching
 the full result — the parallelizing optimization of §5.1.3.
 ``lock_per_chunk`` enables late locking for the early-release
 optimization.
+
+When observability is enabled every RPC opens an ``sb.<op>`` span at
+request time and closes it when the response lands, and records its
+round-trip into the ``sb.rpc_ms`` histogram — the per-scope get/put/del
+timing behind Table 1.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.nf.base import NetworkFunction
 from repro.nf.events import EventAction
 from repro.nf import protocol
 from repro.nf.state import Scope, StateChunk, chunks_total_bytes, chunks_wire_bytes
+from repro.obs import NULL_OBS
 from repro.sim.core import Event, Simulator
 
 #: Fallback size for small fixed messages (acks, list requests).
@@ -48,15 +54,42 @@ class NFClient:
         nf: NetworkFunction,
         to_nf: Optional[ControlChannel] = None,
         from_nf: Optional[ControlChannel] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.nf = nf
-        self.to_nf = to_nf or ControlChannel(sim, name="ctrl->%s" % nf.name)
-        self.from_nf = from_nf or ControlChannel(sim, name="%s->ctrl" % nf.name)
+        self.obs = obs or NULL_OBS
+        self.to_nf = to_nf or ControlChannel(
+            sim, name="ctrl->%s" % nf.name, obs=self.obs
+        )
+        self.from_nf = from_nf or ControlChannel(
+            sim, name="%s->ctrl" % nf.name, obs=self.obs
+        )
 
     @property
     def name(self) -> str:
         return self.nf.name
+
+    def _observe_rpc(self, op: str, done: Event, **attrs) -> Event:
+        """Time one RPC: span from request to response, plus metrics."""
+        if not self.obs.enabled:
+            return done
+        span = self.obs.tracer.span("sb.%s" % op, nf=self.nf.name, **attrs)
+        start = self.sim.now
+        metrics = self.obs.metrics
+
+        def close(event: Event) -> None:
+            metrics.counter("sb.rpcs").inc(1, nf=self.nf.name, op=op)
+            metrics.histogram("sb.rpc_ms").observe(
+                self.sim.now - start, nf=self.nf.name, op=op
+            )
+            if not event.ok:
+                span.set(error=repr(event.exception))
+                span.status = "error"
+            span.finish()
+
+        done.add_callback(close)
+        return done
 
     # ------------------------------------------------------------------- get
 
@@ -120,7 +153,12 @@ class NFClient:
             stream=stream is not None or raw_stream is not None,
         )
         self.to_nf.send(protocol.message_size(request), at_nf)
-        return done
+        return self._observe_rpc(
+            "get.%s" % scope.value,
+            done,
+            filter=str(flt),
+            streamed=stream is not None or raw_stream is not None,
+        )
 
     def get_perflow(
         self,
@@ -175,11 +213,11 @@ class NFClient:
             )
 
         self.to_nf.send(REQUEST_BYTES, at_nf)
-        return done
+        return self._observe_rpc("list.%s" % scope.value, done)
 
     # ------------------------------------------------------------------- put
 
-    def _put(self, chunks: Iterable[StateChunk]) -> Event:
+    def _put(self, chunks: Iterable[StateChunk], op: str = "put") -> Event:
         chunk_list = list(chunks)
         done = self.sim.event("put@%s" % self.nf.name)
 
@@ -198,19 +236,19 @@ class NFClient:
         header = protocol.put_request("put", len(chunk_list))
         size = chunks_wire_bytes(chunk_list) + protocol.message_size(header)
         self.to_nf.send(size, at_nf)
-        return done
+        return self._observe_rpc(op, done, chunks=len(chunk_list))
 
     def put_perflow(self, chunks: Iterable[StateChunk]) -> Event:
         """``putPerflow(multimap<flowid,chunk>)``; triggers when merged."""
-        return self._put(chunks)
+        return self._put(chunks, "put.perflow")
 
     def put_multiflow(self, chunks: Iterable[StateChunk]) -> Event:
         """``putMultiflow(...)``; triggers when merged."""
-        return self._put(chunks)
+        return self._put(chunks, "put.multiflow")
 
     def put_allflows(self, chunks: Iterable[StateChunk]) -> Event:
         """``putAllflows(list<chunk>)``; triggers when merged."""
-        return self._put(chunks)
+        return self._put(chunks, "put.allflows")
 
     # ----------------------------------------------------------------- delete
 
@@ -229,7 +267,9 @@ class NFClient:
             "del%s" % scope.value.capitalize(), ids
         )
         self.to_nf.send(protocol.message_size(request), at_nf)
-        return done
+        return self._observe_rpc(
+            "del.%s" % scope.value, done, flowids=len(ids)
+        )
 
     def del_perflow(self, flowids: Iterable[FlowId]) -> Event:
         """``delPerflow(list<flowid>)``."""
@@ -253,7 +293,7 @@ class NFClient:
 
         request = protocol.events_request("enableEvents", flt, action.value)
         self.to_nf.send(protocol.message_size(request), at_nf)
-        return done
+        return self._observe_rpc("enableEvents", done, action=action.value)
 
     def disable_events(self, flt: Filter) -> Event:
         """``disableEvents(filter)``; triggers when the rule is removed."""
@@ -265,7 +305,7 @@ class NFClient:
 
         request = protocol.events_request("disableEvents", flt)
         self.to_nf.send(protocol.message_size(request), at_nf)
-        return done
+        return self._observe_rpc("disableEvents", done)
 
     def disable_events_covered(self, flt: Filter) -> Event:
         """Disable every rule whose filter falls under ``flt``.
@@ -280,4 +320,4 @@ class NFClient:
             self.from_nf.send(REQUEST_BYTES, done.trigger, None)
 
         self.to_nf.send(REQUEST_BYTES, at_nf)
-        return done
+        return self._observe_rpc("disableEventsCovered", done)

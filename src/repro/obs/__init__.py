@@ -1,0 +1,87 @@
+"""Operation tracing and metrics (the observability subsystem).
+
+The paper's whole evaluation (§8, Figs. 10–13) is about *where time
+goes* inside ``move``/``copy``/``share``; this package makes that
+measurable from inside a run instead of post-hoc. It provides:
+
+* :class:`~repro.obs.span.Tracer` — nested spans with attributes,
+  stamped by the *simulation* clock (never wall time);
+* :class:`~repro.obs.metrics.MetricsRegistry` — labelled counters /
+  gauges / histograms (packets buffered, events flushed, chunks
+  transferred, wire bytes, drops);
+* exporters — in-memory for tests and the CLI, JSON-lines for
+  benchmarks;
+* :class:`~repro.obs.operation.OperationTrace` — the bridge that
+  derives :class:`~repro.controller.reports.OperationReport` phase
+  times from span lifecycle.
+
+One :class:`Observability` bundle is shared by a deployment (switch,
+controller, channels, NF clients, NFs). It is **disabled by default**
+and then allocates no span objects and skips every metrics update —
+instrumentation sites guard on ``obs.enabled``, so the seed behaviour
+and benchmark trajectories are unchanged unless a caller opts in with
+``Deployment(observe=True)`` or ``run_move_experiment(observe=True)``.
+
+Because tracing only records (it never schedules simulator callbacks),
+an observed run has the *identical* event timeline as an unobserved
+one, and the trace itself is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.export import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    render_timeline,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.operation import OperationTrace
+from repro.obs.span import NULL_SPAN, Span, Tracer
+
+
+class Observability:
+    """Tracer + metrics + exporter bundle shared by one deployment."""
+
+    def __init__(
+        self,
+        sim=None,
+        enabled: bool = False,
+        exporter=None,
+        export_path: Optional[str] = None,
+    ) -> None:
+        if exporter is None and export_path is not None:
+            exporter = JsonLinesExporter(export_path)
+        if exporter is None and enabled:
+            exporter = InMemoryExporter()
+        self.enabled = enabled
+        self.exporter = exporter
+        self.tracer = Tracer(sim=sim, exporter=exporter, enabled=enabled)
+        self.metrics = MetricsRegistry()
+
+    def operation(self, sim, report, kind: str, **attrs) -> OperationTrace:
+        """Start an :class:`OperationTrace` for one northbound operation."""
+        return OperationTrace(self, sim, report, kind, **attrs)
+
+
+#: Shared disabled instance used as the default everywhere an ``obs``
+#: parameter is omitted; its metrics are never incremented because all
+#: instrumentation sites guard on ``enabled``.
+NULL_OBS = Observability()
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_SPAN",
+    "Observability",
+    "OperationTrace",
+    "Span",
+    "Tracer",
+    "render_timeline",
+]

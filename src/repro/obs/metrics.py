@@ -1,0 +1,179 @@
+"""Counters, gauges, and histograms with label sets.
+
+A :class:`MetricsRegistry` holds named instruments; each instrument
+keeps one numeric series per label set (``counter.inc(1, nf="inst1")``
+and ``counter.inc(1, nf="inst2")`` are independent series). The design
+mirrors the common client-library shape (Prometheus-style) scaled down
+to what the reproduction needs: deterministic, stdlib-only, and cheap
+enough to leave compiled into the hot paths behind an ``enabled`` check.
+
+Semantics the test suite pins down:
+
+* counters are monotone — a negative increment raises ``ValueError``;
+* label sets are order-insensitive and fully separating;
+* ``registry.reset()`` clears every series but keeps the instruments,
+  so one registry can span several scenarios;
+* re-requesting a name with a different instrument kind is an error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Base: one named instrument holding per-label-set series."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._series: Dict[LabelKey, Any] = {}
+
+    def label_sets(self) -> List[Dict[str, str]]:
+        """Every label combination this instrument has seen."""
+        return [dict(key) for key in sorted(self._series)]
+
+    def reset(self) -> None:
+        self._series.clear()
+
+    def _snapshot_value(self, value: Any) -> Any:
+        return value
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump: label-set repr -> value."""
+        return {
+            ",".join("%s=%s" % kv for kv in key) or "_": self._snapshot_value(v)
+            for key, v in sorted(self._series.items())
+        }
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (packets, events, bytes)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(
+                "counter %r cannot decrease (inc by %r)" % (self.name, amount)
+            )
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._series.values())
+
+
+class Gauge(_Instrument):
+    """A value that can move both ways (queue depth, active transfers)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._series[_label_key(labels)] = value
+
+    def add(self, delta: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0) + delta
+
+    def value(self, **labels: Any) -> float:
+        return self._series.get(_label_key(labels), 0)
+
+
+class Histogram(_Instrument):
+    """Distribution of observed values (per-RPC milliseconds, sizes).
+
+    Stores raw samples per label set — runs are bounded and simulated,
+    so exact distributions beat bucketing for test assertions.
+    """
+
+    kind = "histogram"
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._series.setdefault(_label_key(labels), []).append(value)
+
+    def values(self, **labels: Any) -> List[float]:
+        return list(self._series.get(_label_key(labels), []))
+
+    def count(self, **labels: Any) -> int:
+        return len(self._series.get(_label_key(labels), []))
+
+    def sum(self, **labels: Any) -> float:
+        return sum(self._series.get(_label_key(labels), []))
+
+    def min(self, **labels: Any) -> Optional[float]:
+        samples = self._series.get(_label_key(labels))
+        return min(samples) if samples else None
+
+    def max(self, **labels: Any) -> Optional[float]:
+        samples = self._series.get(_label_key(labels))
+        return max(samples) if samples else None
+
+    def mean(self, **labels: Any) -> Optional[float]:
+        samples = self._series.get(_label_key(labels))
+        return sum(samples) / len(samples) if samples else None
+
+    def _snapshot_value(self, value: List[float]) -> Dict[str, float]:
+        return {
+            "count": len(value),
+            "sum": sum(value),
+            "min": min(value),
+            "max": max(value),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get(self, name: str, cls) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                "metric %r already registered as %s, not %s"
+                % (name, instrument.kind, cls.kind)
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self._instruments.values())
+
+    def reset(self) -> None:
+        """Zero every series (between scenarios) without re-registering."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-friendly dump of every instrument."""
+        return {
+            name: {"kind": inst.kind, "series": inst.snapshot()}
+            for name, inst in sorted(self._instruments.items())
+        }

@@ -1,0 +1,86 @@
+"""Span bookkeeping for one northbound operation.
+
+:class:`OperationTrace` owns the operation's root span and turns the
+Figure-6 phase structure into child spans. The per-phase completion
+times in :attr:`OperationReport.phases` are *derived* from phase-span
+lifecycle — a phase is marked when (and only when) its span closes, at
+the simulated time the span's end is stamped with — so the span tree
+and the report can never disagree, and no caller hand-marks phases with
+an ad-hoc clock.
+
+With tracing disabled the same code path runs without allocating any
+:class:`~repro.obs.span.Span` objects: only the (cheap) report marks
+remain, which is the seed behaviour exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: Sentinel: "mark the report phase under the span's own name".
+_SAME = object()
+
+
+class OperationTrace:
+    """Root span + phase spans for a move/copy/share operation."""
+
+    def __init__(self, obs, sim, report, kind: str, **attrs: Any) -> None:
+        self.obs = obs
+        self.sim = sim
+        self.report = report
+        self.kind = kind
+        self.root = obs.tracer.span(kind, **attrs)
+
+    def phase(
+        self,
+        name: str,
+        mark: Any = _SAME,
+        parent: Any = None,
+        **attrs: Any,
+    ) -> "_Phase":
+        """Open a phase: a ``<kind>.<name>`` span plus a report mark.
+
+        ``mark`` names the :attr:`OperationReport.phases` entry stamped
+        when the phase closes (default: ``name``); pass ``None`` for
+        span-only phases such as structural wrappers. ``parent``
+        overrides the root span as the parent (for nested phases).
+        """
+        return _Phase(
+            self,
+            "%s.%s" % (self.kind, name),
+            name if mark is _SAME else mark,
+            self.root if parent is None else parent,
+            attrs,
+        )
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Point annotation on the root span (no-op when disabled)."""
+        self.root.event(name, **attrs)
+
+    def finish(self, aborted: Optional[str] = None) -> None:
+        """Close the root span (idempotent), tagging abort causes."""
+        if aborted is not None:
+            self.root.set(aborted=aborted)
+            if self.root.span_id is not None:
+                self.root.status = "error"
+        self.root.finish()
+
+
+class _Phase:
+    """Context manager for one phase; usable across generator yields."""
+
+    __slots__ = ("trace", "span", "mark")
+
+    def __init__(self, trace, span_name, mark, parent, attrs) -> None:
+        self.trace = trace
+        self.mark = mark
+        self.span = parent.child(span_name, **attrs)
+
+    def __enter__(self) -> "_Phase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.__exit__(exc_type, exc, tb)
+        if self.mark is not None and exc is None:
+            self.trace.report.mark_phase(self.mark, self.trace.sim.now)
+        return False

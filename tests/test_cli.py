@@ -43,3 +43,31 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+@pytest.mark.obs
+class TestTraceCommand:
+    def test_trace_renders_timeline(self, capsys):
+        code = main(["trace", "--guarantee", "op", "--flows", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "move.state-transfer" in out
+        assert "move.dst-release" in out
+        assert "metrics:" in out
+        assert "ms" in out
+
+    def test_trace_json_dump(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        code = main(["trace", "--guarantee", "loss-free", "--flows", "20",
+                     "--json", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote" in out
+        import json
+
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert any(
+            entry["type"] == "span" and entry["name"] == "move"
+            for entry in lines
+        )
+        assert any(entry["type"] == "record" for entry in lines)

@@ -254,3 +254,47 @@ class TestShare:
         # Puts fan out in parallel: more instances must not grow latency
         # meaningfully (§8.1.1 observed flat latency up to 6 instances).
         assert six < two * 1.25
+
+
+@pytest.mark.obs
+class TestShareUpdateSpans:
+    """share(strong) serialization, asserted on the spans themselves."""
+
+    def test_strong_share_updates_do_not_overlap(self):
+        dep, (a, b) = build_multi_instance_deployment(
+            2, deployment_kwargs={"observe": True}
+        )
+        dep.switch.table.remove(Filter.wildcard())
+        dep.set_default_route("inst1")
+        dep.switch.table.install(
+            Filter({"nw_src": "10.0.2.0/24"}, symmetric=True),
+            500, ["inst2"], 0.0,
+        )
+        share = dep.controller.share(
+            ["inst1", "inst2"], Filter.wildcard(), scope="multi",
+            consistency="strong", group_by="all",
+        )
+        dep.sim.run()
+        for index in range(4):
+            flow = FiveTuple(
+                "10.0.%d.5" % (1 + index % 2), 1000 + index,
+                "203.0.113.9", 80,
+            )
+            dep.inject(make_packet(flow, flags=("SYN",)))
+        dep.sim.run()
+        share.stop()
+        dep.sim.run()
+
+        exporter = dep.obs.exporter
+        updates = exporter.find("share.update")
+        assert len(updates) == share.packets_serialized
+        assert len(updates) >= 4
+        root = exporter.find("share")[0]
+        assert all(u.parent_id == root.span_id for u in updates)
+        assert all(u.attrs["group"] for u in updates)
+        # One global group: the update regions must be strictly serial.
+        for earlier, later in zip(updates, updates[1:]):
+            assert later.start >= earlier.end
+        # The initial sync phase closed before any packet was serialized.
+        sync = exporter.find("share.sync")[0]
+        assert sync.end <= updates[0].start

@@ -42,3 +42,37 @@ class TestDeterminism:
         reset_uid_counter()
         second = snapshot(run_move_experiment("lf", n_flows=40, seed=6))
         assert first["logs"] != second["logs"]
+
+
+@pytest.mark.obs
+class TestObservedDeterminism:
+    """Observation must be deterministic — and must not perturb the run."""
+
+    def _observed_snapshot(self, **kwargs):
+        reset_uid_counter()
+        result = run_move_experiment(observe=True, **kwargs)
+        obs = result.deployment.obs
+        return {
+            "spans": [span.to_dict() for span in obs.exporter.spans],
+            "records": list(obs.exporter.records),
+            "metrics": obs.metrics.snapshot(),
+            "phases": dict(result.report.phases),
+        }
+
+    @pytest.mark.parametrize("guarantee", ["lf", "op"])
+    def test_same_seed_same_trace(self, guarantee):
+        first = self._observed_snapshot(guarantee=guarantee, n_flows=40,
+                                        seed=5)
+        second = self._observed_snapshot(guarantee=guarantee, n_flows=40,
+                                         seed=5)
+        assert first == second
+
+    def test_observation_does_not_perturb_the_world(self):
+        """Tracing only records; the simulated timeline is untouched."""
+        reset_uid_counter()
+        plain = snapshot(run_move_experiment("op", n_flows=40, seed=5))
+        reset_uid_counter()
+        seen = snapshot(
+            run_move_experiment("op", n_flows=40, seed=5, observe=True)
+        )
+        assert plain == seen

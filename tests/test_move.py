@@ -232,3 +232,39 @@ class TestAllflowsScope:
         assert not op.done.ok
         assert "injected fault" in str(op.done.exception)
         assert op.report.aborted is not None
+
+
+@pytest.mark.obs
+class TestTraceBackedInvariants:
+    """The no-double-processing invariant, checked from the trace itself.
+
+    Every ``nf.process`` point record carries the packet uid and the
+    instance that processed it; a loss-free order-preserving move must
+    leave every uid processed exactly once across both instances.
+    """
+
+    @pytest.mark.parametrize("guarantee", ["lf", "op", "op-strong"])
+    def test_no_packet_processed_twice(self, guarantee):
+        result = run_move_experiment(
+            guarantee=guarantee, n_flows=40, observe=True
+        )
+        assert result.report.aborted is None
+        exporter = result.deployment.obs.exporter
+        counts = {}
+        for record in exporter.records:
+            if record["name"] == "nf.process":
+                counts[record["uid"]] = counts.get(record["uid"], 0) + 1
+        assert counts, "expected nf.process records from an observed run"
+        doubles = {uid: n for uid, n in counts.items() if n != 1}
+        assert doubles == {}
+        # The trace-derived view agrees with the NFs' own processing logs.
+        assert counts == result.deployment.processed_uid_counts()
+
+    def test_trace_and_switch_agree_on_forwarded_events(self):
+        result = run_move_experiment(guarantee="lf", n_flows=30, observe=True)
+        metrics = result.deployment.obs.metrics
+        # Every buffered-then-released packet left via the packet-out path.
+        released = metrics.counter(
+            "ctrl.move.buffered_packets_released").total()
+        packet_outs = metrics.counter("ctrl.packet_outs").total()
+        assert packet_outs >= released > 0

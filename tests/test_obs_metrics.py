@@ -1,0 +1,151 @@
+"""Metrics semantics plus the buffered-packet conservation property.
+
+The registry half pins down counter/gauge/histogram behaviour (label
+separation, monotonicity, reset, kind conflicts). The property half
+asserts the invariant the loss-free guarantee rests on: every packet
+the controller buffers during a successful move is later released, and
+every packet the destination NF buffers is released when its buffer
+opens — measured by the instrumentation itself, not by the mechanism
+under test.
+"""
+
+import pytest
+
+from repro.harness import run_move_experiment
+from repro.obs import MetricsRegistry
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_monotone_and_label_separated(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pkts")
+        counter.inc(2, nf="a")
+        counter.inc(3, nf="a")
+        counter.inc(5, nf="b")
+        assert counter.value(nf="a") == 5
+        assert counter.value(nf="b") == 5
+        assert counter.value(nf="c") == 0
+        assert counter.total() == 10
+
+    def test_label_order_insensitive(self):
+        counter = MetricsRegistry().counter("pkts")
+        counter.inc(1, nf="a", port="p1")
+        counter.inc(1, port="p1", nf="a")
+        assert counter.value(nf="a", port="p1") == 2
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("pkts")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.total() == 0
+
+    def test_unlabelled_series(self):
+        counter = MetricsRegistry().counter("pkts")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+        assert counter.snapshot() == {"_": 5}
+
+
+class TestGauge:
+    def test_set_add_value(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7, queue="q")
+        gauge.add(-3, queue="q")
+        assert gauge.value(queue="q") == 4
+        assert gauge.value(queue="other") == 0
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        hist = MetricsRegistry().histogram("rpc_ms")
+        for value in (2.0, 4.0, 9.0):
+            hist.observe(value, op="get")
+        assert hist.count(op="get") == 3
+        assert hist.sum(op="get") == 15.0
+        assert hist.min(op="get") == 2.0
+        assert hist.max(op="get") == 9.0
+        assert hist.mean(op="get") == 5.0
+        assert hist.values(op="get") == [2.0, 4.0, 9.0]
+
+    def test_empty_series(self):
+        hist = MetricsRegistry().histogram("rpc_ms")
+        assert hist.count() == 0
+        assert hist.min() is None and hist.max() is None
+        assert hist.mean() is None
+
+    def test_snapshot_shape(self):
+        hist = MetricsRegistry().histogram("rpc_ms")
+        hist.observe(1.0, op="put")
+        hist.observe(3.0, op="put")
+        assert hist.snapshot() == {
+            "op=put": {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.names() == ["x"]
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_reset_clears_series_keeps_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(3)
+        registry.histogram("y").observe(1.0)
+        registry.reset()
+        assert registry.names() == ["x", "y"]
+        assert registry.counter("x").total() == 0
+        assert registry.histogram("y").count() == 0
+
+
+class TestBufferConservation:
+    """captured == released, measured by the obs layer itself."""
+
+    @pytest.mark.parametrize("guarantee", ["lf", "op", "op-strong"])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_controller_buffer_conserved(self, guarantee, seed):
+        result = run_move_experiment(
+            guarantee=guarantee, n_flows=40, seed=seed, observe=True
+        )
+        assert result.report.aborted is None
+        metrics = result.deployment.obs.metrics
+        captured = metrics.counter(
+            "ctrl.move.buffered_packets_captured").total()
+        released = metrics.counter(
+            "ctrl.move.buffered_packets_released").total()
+        assert captured > 0
+        assert captured == released
+
+    def test_dst_nf_buffer_conserved(self):
+        result = run_move_experiment(guarantee="op", n_flows=40, observe=True)
+        metrics = result.deployment.obs.metrics
+        buffered = metrics.counter("nf.packets.buffered").value(nf="inst2")
+        released = metrics.counter("nf.packets.released").value(nf="inst2")
+        assert buffered > 0
+        assert buffered == released
+
+    def test_ng_move_counts_drops(self):
+        result = run_move_experiment(guarantee="ng", n_flows=40, observe=True)
+        metrics = result.deployment.obs.metrics
+        dropped = metrics.counter("nf.packets.dropped").value(
+            nf="inst1", mode="silent"
+        )
+        assert dropped == result.report.packets_dropped
+        assert dropped > 0
+
+    def test_chunk_accounting_matches_report(self):
+        result = run_move_experiment(guarantee="lf", n_flows=25, observe=True)
+        metrics = result.deployment.obs.metrics
+        transferred = metrics.counter("ctrl.chunks.transferred").total()
+        wire = metrics.counter("ctrl.chunks.wire_bytes").total()
+        assert transferred == result.report.total_chunks
+        assert wire == result.report.total_wire_bytes
