@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-obs bench examples validate clean results
+.PHONY: install test test-obs test-faults bench examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs
+
+test-faults:
+	$(PYTHON) -m pytest tests/ -m faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

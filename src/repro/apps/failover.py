@@ -11,7 +11,7 @@ flipped to the standby.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.flowspace.filter import Filter
 from repro.net.flowtable import MID_PRIORITY
@@ -39,6 +39,10 @@ class FastFailureRecovery:
         self._watching = False
         self._stopped = False
         self._recovered: set = set()
+        #: primary name -> [(interest handle, filter)] for the three
+        #: notify subscriptions; removed on stop() and on failover so
+        #: neither the interests nor the NF-side event rules leak.
+        self._subscriptions: Dict[str, List[Tuple[int, Filter]]] = {}
 
     def init_standby(self, norm: Any, stby: Any, warm_start: bool = True) -> Event:
         """Register ``stby`` for ``norm`` and subscribe to key packets."""
@@ -54,24 +58,17 @@ class FastFailureRecovery:
                 )
                 yield warm.done
             # notify(): TCP SYNs, RSTs, and local-client HTTP requests.
-            self.controller.notify(
+            subscriptions = self._subscriptions.setdefault(norm_name, [])
+            for flt in (
                 Filter({"nw_proto": 6, "tcp_flags": "SYN"}),
-                norm_name,
-                True,
-                self._update_standby,
-            )
-            self.controller.notify(
                 Filter({"nw_proto": 6, "tcp_flags": "RST"}),
-                norm_name,
-                True,
-                self._update_standby,
-            )
-            self.controller.notify(
-                Filter({"nw_src": self.local_prefix, "nw_proto": 6, "tp_dst": 80}),
-                norm_name,
-                True,
-                self._update_standby,
-            )
+                Filter({"nw_src": self.local_prefix, "nw_proto": 6,
+                        "tp_dst": 80}),
+            ):
+                handle = self.controller.notify(
+                    flt, norm_name, True, self._update_standby
+                )
+                subscriptions.append((handle, flt))
             done.trigger()
 
         self.sim.spawn(run(), name="init-standby")
@@ -102,7 +99,22 @@ class FastFailureRecovery:
         self.sim.spawn(self._health_loop(), name="failover-watch")
 
     def stop(self) -> None:
+        """Stop watching and release every notify subscription."""
         self._stopped = True
+        for norm_name in list(self._subscriptions):
+            self._unsubscribe(norm_name)
+
+    def _unsubscribe(self, norm_name: str) -> None:
+        """Remove the controller interests and NF-side event rules that
+        :meth:`init_standby` created for one primary."""
+        subscriptions = self._subscriptions.pop(norm_name, None)
+        if not subscriptions:
+            return
+        client = self.controller.client(norm_name)
+        for handle, flt in subscriptions:
+            self.controller.remove_interest(handle)
+            if not client.nf.failed:
+                client.disable_events(flt)
 
     def _health_loop(self):
         while not self._stopped:
@@ -113,13 +125,25 @@ class FastFailureRecovery:
                 if nf.failed:
                     self._recovered.add(norm_name)
                     self.recover(norm_name)
+            if all(name in self._recovered for name in self.standbys):
+                # No watched primary remains; polling forever would only
+                # keep the simulation's event queue alive.
+                break
             yield self.health_poll_ms
+        self._watching = False
 
     def recover(self, norm: Any, flt: Optional[Filter] = None) -> Event:
-        """Fail over: reroute ``norm``'s traffic to its standby."""
+        """Fail over: reroute ``norm``'s traffic to its standby.
+
+        Also drops the dead primary's notify subscriptions — events can
+        no longer arrive from it, and keeping the interests (and, were
+        it still alive, its event rules) would leak per recovery.
+        """
         norm_name = self.controller.client(norm).name
         stby_name = self.standbys[norm_name]
         self.recoveries += 1
+        self._recovered.add(norm_name)
+        self._unsubscribe(norm_name)
         return self.controller.switch_client.install(
             flt or Filter.wildcard(),
             [self.controller.port_of(stby_name)],

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.cli demo-move --guarantee op --flows 200 --rate 2500
     python -m repro.cli trace --guarantee op --flows 100
+    python -m repro.cli faults --spec "seed=3,drop=0.05" --guarantee op
     python -m repro.cli validate --seeds 5
     python -m repro.cli version
 
@@ -48,6 +49,26 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="zlib-compress state chunks (§8.3)")
     demo.add_argument("--peer-to-peer", action="store_true",
                       help="stream chunks NF-to-NF (footnote 10)")
+    demo.add_argument("--faults", metavar="SPEC", default=None,
+                      help="fault-plan spec, e.g. 'seed=3,drop=0.05' "
+                           "(default: $OPENNF_FAULTS if set)")
+
+    faults = sub.add_parser(
+        "faults",
+        help="run one move under an injected-fault plan and report "
+             "retries, drops, and the exactly-once verdict",
+    )
+    faults.add_argument("--spec", metavar="SPEC", default=None,
+                        help="fault-plan spec, e.g. "
+                             "'seed=3,drop=0.05,delay=0.02,crash=inst2#40' "
+                             "(default: $OPENNF_FAULTS)")
+    faults.add_argument("--guarantee", default="op",
+                        choices=["ng", "loss-free", "op", "op-strong"],
+                        help="move safety level")
+    faults.add_argument("--flows", type=int, default=100)
+    faults.add_argument("--rate", type=float, default=2500.0,
+                        help="replay rate in packets/second")
+    faults.add_argument("--seed", type=int, default=7)
 
     trace = sub.add_parser(
         "trace", help="run one observed move and render its span timeline"
@@ -75,6 +96,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_plan_from(spec: Optional[str]):
+    """Resolve a fault plan from a CLI spec or $OPENNF_FAULTS."""
+    import os
+
+    from repro.faults import FaultPlan
+
+    spec = spec if spec is not None else os.environ.get("OPENNF_FAULTS")
+    if not spec:
+        return None
+    return FaultPlan.from_spec(spec)
+
+
 def _cmd_demo_move(args: argparse.Namespace) -> int:
     from repro.harness import LOCAL_NET_FILTER
 
@@ -98,6 +131,7 @@ def _cmd_demo_move(args: argparse.Namespace) -> int:
         rate_pps=args.rate,
         seed=args.seed,
         operation=operation,
+        fault_plan=_fault_plan_from(args.faults),
     )
     report = result.report
     print(report.summary())
@@ -172,6 +206,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    plan = _fault_plan_from(args.spec)
+    if plan is None:
+        print("repro faults: error: no fault spec (use --spec or set "
+              "$OPENNF_FAULTS)", file=sys.stderr)
+        return 2
+
+    result = run_move_experiment(
+        guarantee=args.guarantee,
+        n_flows=args.flows,
+        rate_pps=args.rate,
+        seed=args.seed,
+        fault_plan=plan,
+    )
+    report = result.report
+    print("plan: %s" % plan.summary())
+    print(report.summary())
+    print("retries: %d   timeouts: %d" % (report.retries, report.timeouts))
+    print("channel faults: %d dropped, %d duplicated, %d delayed"
+          % (plan.messages_dropped, plan.messages_duplicated,
+             plan.messages_delayed))
+    counts = result.deployment.processed_uid_counts()
+    duplicates = sum(1 for n in counts.values() if n > 1)
+    missing = sum(
+        1 for p in result.replayer.injected if p.uid not in counts
+    )
+    print("packets: %d processed exactly once, %d duplicated, %d missing"
+          % (sum(1 for n in counts.values() if n == 1), duplicates, missing))
+    print("loss-free: %s   order-preserving: %s"
+          % ("yes" if result.loss_free else "NO",
+             "yes" if result.order_preserving else "NO"))
+    if report.aborted:
+        print("ABORTED: %s" % report.aborted)
+        return 1
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     failures = 0
     for seed in range(args.seeds):
@@ -208,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo_move(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "validate":
         return _cmd_validate(args)
     return 2

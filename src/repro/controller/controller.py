@@ -32,7 +32,7 @@ from repro.net.channel import ControlChannel
 from repro.net.packet import Packet
 from repro.net.switch import Switch
 from repro.nf.base import NetworkFunction
-from repro.nf.events import PacketEvent
+from repro.nf.events import EVENT_ACK_BYTES, PacketEvent
 from repro.nf.southbound import NFClient
 from repro.nf.state import normalize_scope
 from repro.controller.forwarding import SwitchClient
@@ -73,6 +73,8 @@ class OpenNFController:
         sw_channel_latency_ms: float = 0.6,
         nf_channel_bandwidth_bytes_per_ms: float = 125_000.0,
         obs=None,
+        faults=None,
+        retry=None,
     ) -> None:
         self.sim = sim
         self.obs = obs or NULL_OBS
@@ -80,6 +82,23 @@ class OpenNFController:
         self.nf_channel_latency_ms = nf_channel_latency_ms
         self.sw_channel_latency_ms = sw_channel_latency_ms
         self.nf_channel_bandwidth = nf_channel_bandwidth_bytes_per_ms
+        #: Optional :class:`repro.faults.FaultPlan`. Installing one turns
+        #: on the reliability machinery end to end: southbound retries
+        #: with request ids, sequenced/acked NF events, and channel-level
+        #: fault injection. ``None`` (default) is the classic fast path —
+        #: no request ids, no acks, byte-identical message timeline.
+        self.faults = faults
+        self.retry = retry
+        self.reliable = faults is not None
+        #: Per-NF in-order reassembly for sequenced events:
+        #: nf_name -> {"next": seq, "pending": {seq: event}}.
+        self._event_reorder: Dict[str, Dict[str, Any]] = {}
+        #: How long a sequence gap may stall delivery before the missing
+        #: event is presumed abandoned by the NF and skipped (keeps one
+        #: permanently lost event from wedging the inbox forever).
+        self.event_gap_timeout_ms = 200.0
+        self.events_duplicate_dropped = 0
+        self.events_gap_skipped = 0
         self.clients: Dict[str, NFClient] = {}
         self.nf_ports: Dict[str, str] = {}
         self.switch: Optional[Switch] = None
@@ -105,6 +124,11 @@ class OpenNFController:
 
     # -------------------------------------------------------------------- wiring
 
+    def _attach_faults(self, channel: ControlChannel) -> None:
+        """Install the fault plan's injector for this channel, if any."""
+        if self.faults is not None and channel.faults is None:
+            channel.faults = self.faults.injector_for(channel.name)
+
     def attach_switch(self, switch: Switch) -> None:
         """Connect the controller to its SDN switch."""
         self.switch = switch
@@ -121,6 +145,8 @@ class OpenNFController:
             ),
             obs=self.obs,
         )
+        self._attach_faults(self.switch_client.to_switch)
+        self._attach_faults(self.switch_client.from_switch)
         switch.set_packet_in_handler(self.handle_packet_in)
 
     def register_nf(self, nf: NetworkFunction, port: Optional[str] = None) -> NFClient:
@@ -147,11 +173,33 @@ class OpenNFController:
                 obs=self.obs,
             ),
             obs=self.obs,
+            reliable=self.reliable,
+            retry=self.retry,
         )
+        self._attach_faults(client.to_nf)
+        self._attach_faults(client.from_nf)
         nf.connect_controller(client.from_nf, self.handle_nf_event)
+        if self.reliable:
+            # Events get sequence numbers, controller acks, and NF-side
+            # retransmission; this controller reassembles them in order.
+            nf.reliable_events = True
+        if self.faults is not None:
+            for spec in self.faults.crashes_for(nf.name):
+                if spec.at_ms is not None:
+                    self.sim.schedule(
+                        max(0.0, spec.at_ms - self.sim.now),
+                        self._crash_nf, nf, spec.reason,
+                    )
+                else:
+                    nf.crash_on_nth_rpc(spec.on_nth_rpc, spec.reason)
         self.clients[nf.name] = client
         self.nf_ports[nf.name] = port if port is not None else nf.name
         return client
+
+    @staticmethod
+    def _crash_nf(nf: NetworkFunction, reason: str) -> None:
+        if not nf.failed:
+            nf.fail(reason)
 
     def client(self, nf: Any) -> NFClient:
         """Resolve an NF instance, client, or name to its client."""
@@ -198,10 +246,74 @@ class OpenNFController:
 
     def handle_nf_event(self, event: PacketEvent) -> None:
         """Entry point for events arriving from NFs (already past the channel)."""
+        if event.seq is not None:
+            self._handle_sequenced_event(event)
+            return
+        self._deliver_event(event)
+
+    def _deliver_event(self, event: PacketEvent) -> None:
         self.events_received += 1
         if self.obs.enabled:
             self.obs.metrics.counter("ctrl.inbox").inc(1, kind="event")
         self.inbox.push(("event", event, None))
+
+    def _handle_sequenced_event(self, event: PacketEvent) -> None:
+        """Reliable event channel: ack, dedupe, and release in seq order.
+
+        Retransmitted events may arrive duplicated or out of order;
+        releasing strictly by sequence number means a retransmission
+        cannot overtake its successors, so order preservation holds even
+        on a lossy control channel.
+        """
+        client = self.clients.get(event.nf_name)
+        if client is not None:
+            # Ack every arrival (a duplicate means our previous ack was
+            # lost); the NF stops retransmitting once one lands.
+            client.to_nf.send(EVENT_ACK_BYTES, client.nf.event_ack, event.seq)
+        state = self._event_reorder.setdefault(
+            event.nf_name, {"next": 1, "pending": {}}
+        )
+        if event.seq < state["next"] or event.seq in state["pending"]:
+            self.events_duplicate_dropped += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("ctrl.events.duplicates").inc(
+                    1, nf=event.nf_name
+                )
+            return
+        state["pending"][event.seq] = event
+        self._release_in_order(state)
+        if state["pending"]:
+            # A predecessor is missing; if the NF abandoned it the gap
+            # would stall delivery forever, so arm a skip timer.
+            self.sim.schedule(
+                self.event_gap_timeout_ms,
+                self._check_event_gap, event.nf_name, state["next"],
+            )
+
+    def _release_in_order(self, state: Dict[str, Any]) -> None:
+        while state["next"] in state["pending"]:
+            self._deliver_event(state["pending"].pop(state["next"]))
+            state["next"] += 1
+
+    def _check_event_gap(self, nf_name: str, expected_next: int) -> None:
+        state = self._event_reorder.get(nf_name)
+        if (state is None or state["next"] != expected_next
+                or not state["pending"]):
+            return  # the gap filled (or emptied) while we waited
+        # The missing event outlived the NF's retransmit budget: skip to
+        # the oldest buffered successor rather than wedging the inbox.
+        self.events_gap_skipped += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("ctrl.events.gap_skipped").inc(
+                1, nf=nf_name
+            )
+        state["next"] = min(state["pending"])
+        self._release_in_order(state)
+        if state["pending"]:
+            self.sim.schedule(
+                self.event_gap_timeout_ms,
+                self._check_event_gap, nf_name, state["next"],
+            )
 
     def _dispatch_event(self, event: PacketEvent) -> None:
         for interest in reversed(self._event_interests):

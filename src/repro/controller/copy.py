@@ -14,6 +14,7 @@ from typing import Any, List, Tuple
 
 from repro.flowspace.filter import Filter
 from repro.nf.base import NFCrash
+from repro.nf.southbound import SouthboundError
 from repro.nf.state import Scope, StateChunk
 from repro.controller.reports import OperationReport
 from repro.sim.process import AllOf
@@ -48,6 +49,11 @@ class CopyOperation:
             dst=dst.name,
         )
         self.done = self.sim.event("copy-done")
+        #: Chunks whose put at the destination has completed; on abort
+        #: this becomes ``report.partial_chunks`` so callers know what
+        #: already landed (and must be reconciled or purged) instead of
+        #: the delivered state silently lingering with no record.
+        self._chunks_delivered = 0
         self.obs = controller.obs
         self.trace = self.obs.operation(
             self.sim,
@@ -58,7 +64,29 @@ class CopyOperation:
             dst=dst.name,
             scopes=",".join(s.value for s in scopes),
         )
+        self._sb_stats_at_start = self._sb_stats()
         self.process = self.sim.spawn(self._run(), name="copy-op")
+
+    def _sb_stats(self):
+        return {
+            key: self.src.stats[key] + self.dst.stats[key]
+            for key in ("retries", "timeouts")
+        }
+
+    def _finalize_reliability(self) -> None:
+        now = self._sb_stats()
+        self.report.retries = now["retries"] - self._sb_stats_at_start["retries"]
+        self.report.timeouts = (
+            now["timeouts"] - self._sb_stats_at_start["timeouts"]
+        )
+
+    def _track_put(self, put_event, chunk_count: int):
+        """Count chunks whose destination put actually completed."""
+        def on_done(evt):
+            if evt.ok:
+                self._chunks_delivered += chunk_count
+        put_event.add_callback(on_done)
+        return put_event
 
     def _scope_calls(self, scope: Scope):
         if scope is Scope.PERFLOW:
@@ -76,15 +104,23 @@ class CopyOperation:
         self.report.started_at = self.sim.now
         try:
             yield from self._run_scopes()
-        except NFCrash as crash:
+        except (NFCrash, SouthboundError) as crash:
             self.report.aborted = str(crash)
+            self.report.partial_chunks = self._chunks_delivered
+            if self._chunks_delivered:
+                self.report.notes.append(
+                    "%d chunks already delivered to %s before abort"
+                    % (self._chunks_delivered, self.dst.name)
+                )
         except Exception as exc:
             self.report.aborted = "internal error: %r" % (exc,)
             self.report.finished_at = self.sim.now
+            self._finalize_reliability()
             self.trace.finish(aborted=self.report.aborted)
             self.done.fail(exc)
             raise
         self.report.finished_at = self.sim.now
+        self._finalize_reliability()
         self.trace.finish(aborted=self.report.aborted)
         self.done.trigger(self.report)
         return self.report
@@ -112,7 +148,7 @@ class CopyOperation:
                     def handle_chunk(chunk: StateChunk, _putter=putter,
                                      _scope=scope):
                         self._note_chunk(_scope, chunk)
-                        put_events.append(_putter([chunk]))
+                        put_events.append(self._track_put(_putter([chunk]), 1))
 
                     yield getter(
                         self.flt,
@@ -128,4 +164,4 @@ class CopyOperation:
                     chunks = yield getter(self.flt, compress=self.compress)
                     for chunk in chunks:
                         self._note_chunk(scope, chunk)
-                    yield putter(chunks)
+                    yield self._track_put(putter(chunks), len(chunks))

@@ -45,6 +45,7 @@ from repro.net.packet import Packet
 from repro.net.switch import CONTROLLER_PORT
 from repro.nf.base import NFCrash
 from repro.nf.events import DO_NOT_BUFFER, EventAction, PacketEvent
+from repro.nf.southbound import SouthboundError
 from repro.nf.state import Scope, StateChunk
 from repro.controller.reports import OperationReport
 from repro.sim.process import AllOf, AnyOf
@@ -175,6 +176,10 @@ class MoveOperation:
         self._src_drops_at_start = 0
         self._dst_buffered_at_start = 0
         self._interest_handles: List[int] = []
+        #: Reliability accounting baseline (client stats are cumulative
+        #: and shared; concurrent operations on the same clients may
+        #: attribute each other's retries).
+        self._sb_stats_at_start = self._sb_stats()
 
         self.process = self.sim.spawn(self._run(), name="move-op")
 
@@ -195,40 +200,63 @@ class MoveOperation:
                 )
             self.report.finished_at = self.sim.now
             yield from self._cleanup()
-        except NFCrash as crash:
-            # An instance died mid-operation: surface the abort instead
-            # of wedging. Buffered events are flushed towards whichever
+        except (NFCrash, SouthboundError) as crash:
+            # An instance died (or became unreachable past the retry
+            # budget) mid-operation: surface the abort instead of
+            # wedging. Buffered events are flushed towards whichever
             # instance still works so packets are not stranded.
             self.report.aborted = str(crash)
             self.report.finished_at = self.sim.now
             self._buffering = False
-            if not self.dst.nf.failed:
-                self._flush_queues(
-                    mark=self.guarantee is not Guarantee.LOSS_FREE
-                )
-            elif not self.src.nf.failed:
-                # Destination died: restore the already-exported (and
-                # deleted) state to the source, stop intercepting there,
-                # and hand the buffered packets back to it.
-                if self._exported_chunks:
-                    restores: Dict[Scope, List[StateChunk]] = {}
-                    for chunk in self._exported_chunks:
-                        restores.setdefault(chunk.scope, []).append(chunk)
-                    for scope, chunks in restores.items():
-                        if scope is Scope.PERFLOW:
-                            yield self.src.put_perflow(chunks)
-                        elif scope is Scope.MULTIFLOW:
-                            yield self.src.put_multiflow(chunks)
-                        else:
-                            yield self.src.put_allflows(chunks)
-                    self.report.notes.append(
-                        "restored %d chunks to %s"
-                        % (len(self._exported_chunks), self.src.name)
+            src_down = self.src.nf.failed or (
+                isinstance(crash, SouthboundError)
+                and crash.nf_name == self.src.name
+            )
+            dst_down = self.dst.nf.failed or (
+                isinstance(crash, SouthboundError)
+                and crash.nf_name == self.dst.name
+            )
+            try:
+                if not dst_down:
+                    self._flush_queues(
+                        mark=self.guarantee is not Guarantee.LOSS_FREE
                     )
-                yield self.src.disable_events_covered(self.flt)
-                self._flush_queues(mark=False, port=self.src_port)
-            if not self.src.nf.failed:
-                yield self.src.disable_events_covered(self.flt)
+                elif not src_down:
+                    # Destination died: restore the already-exported (and
+                    # deleted) state to the source, stop intercepting
+                    # there, and hand the buffered packets back to it.
+                    if self._exported_chunks:
+                        restores: Dict[Scope, List[StateChunk]] = {}
+                        for chunk in self._exported_chunks:
+                            restores.setdefault(chunk.scope, []).append(chunk)
+                        for scope, chunks in restores.items():
+                            if scope is Scope.PERFLOW:
+                                yield self.src.put_perflow(chunks)
+                            elif scope is Scope.MULTIFLOW:
+                                yield self.src.put_multiflow(chunks)
+                            else:
+                                yield self.src.put_allflows(chunks)
+                        self.report.notes.append(
+                            "restored %d chunks to %s"
+                            % (len(self._exported_chunks), self.src.name)
+                        )
+                        if not self.dst.nf.failed:
+                            # Unreachable-but-alive destination: chunks
+                            # it already imported now coexist with the
+                            # restored copies; record them so the caller
+                            # can reconcile once it is reachable again.
+                            self.report.notes.append(
+                                "%s may hold stale copies" % self.dst.name
+                            )
+                    yield self.src.disable_events_covered(self.flt)
+                    self._flush_queues(mark=False, port=self.src_port)
+                if not src_down:
+                    yield self.src.disable_events_covered(self.flt)
+            except (NFCrash, SouthboundError) as recovery_exc:
+                # Best-effort recovery: the surviving side vanished too.
+                self.report.notes.append(
+                    "abort recovery incomplete: %s" % recovery_exc
+                )
         except Exception as exc:
             # Anything else is an internal error: fail loudly so callers
             # never hang on a move that died (the done event carries the
@@ -242,9 +270,24 @@ class MoveOperation:
         finally:
             for handle in self._interest_handles:
                 self.controller.remove_interest(handle)
+            self._finalize_reliability()
             self.trace.finish(aborted=self.report.aborted)
         self.done.trigger(self.report)
         return self.report
+
+    def _sb_stats(self) -> Dict[str, int]:
+        return {
+            key: self.src.stats[key] + self.dst.stats[key]
+            for key in ("retries", "timeouts")
+        }
+
+    def _finalize_reliability(self) -> None:
+        """Fill the report's retry/timeout counts from client deltas."""
+        now = self._sb_stats()
+        self.report.retries = now["retries"] - self._sb_stats_at_start["retries"]
+        self.report.timeouts = (
+            now["timeouts"] - self._sb_stats_at_start["timeouts"]
+        )
 
     # -------------------------------------------------------------- NG variant
 
@@ -583,9 +626,14 @@ class MoveOperation:
             bandwidth_bytes_per_ms=self.controller.nf_channel_bandwidth,
             obs=self.obs,
         )
+        self.controller._attach_faults(peer)
         put_events: List[Any] = []
+        delivered_ids: set = set()
 
         def deliver(chunk: StateChunk) -> None:
+            if id(chunk) in delivered_ids:
+                return  # duplicated on the wire; already imported
+            delivered_ids.add(id(chunk))
             put_process = self.dst.nf.sb_put([chunk])
             put_events.append(put_process.done)
             if self.early_release:
@@ -609,6 +657,34 @@ class MoveOperation:
         )
         if deleter is not None and chunks:
             yield deleter([c.flowid for c in chunks if c.flowid])
+        # The peer channel has no RPC layer; chunks it dropped must be
+        # re-shipped from the source's authoritative list (the loop only
+        # runs when something is actually missing, so fault-free moves
+        # take the classic timeline).
+        reship_rounds = 0
+        while True:
+            missing = [c for c in chunks if id(c) not in delivered_ids]
+            if not missing:
+                break
+            reship_rounds += 1
+            if reship_rounds > 10:
+                raise SouthboundError(
+                    "peer transfer to %s lost %d chunks past the re-ship "
+                    "budget" % (self.dst.name, len(missing)),
+                    self.dst.name,
+                )
+            if self.dst.nf.failed:
+                raise NFCrash(
+                    "%s is down: %s"
+                    % (self.dst.name, self.dst.nf.failure_reason)
+                )
+            self.report.notes.append(
+                "re-shipped %d peer chunks (round %d)"
+                % (len(missing), reship_rounds)
+            )
+            for chunk in missing:
+                peer.send(chunk.wire_size_bytes + 74, deliver, chunk)
+            yield 25.0 * reship_rounds
         if put_events:
             yield AllOf(put_events)
 

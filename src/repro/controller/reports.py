@@ -45,6 +45,14 @@ class OperationReport:
     #: Set when the operation did not complete (e.g. an NF crashed
     #: mid-transfer): a short description of the abort cause.
     aborted: Optional[str] = None
+    #: Southbound RPC retries issued while this operation ran (nonzero
+    #: only under a fault plan; counted across the involved clients).
+    retries: int = 0
+    #: Southbound per-call timeouts that fired while this operation ran.
+    timeouts: int = 0
+    #: Chunks that had already been delivered to the destination when
+    #: the operation aborted (state the caller must reconcile or purge).
+    partial_chunks: int = 0
 
     @property
     def duration_ms(self) -> float:
@@ -98,6 +106,9 @@ class OperationReport:
             "affected_packets": len(self.affected_uids),
             "notes": list(self.notes),
             "aborted": self.aborted,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "partial_chunks": self.partial_chunks,
         }
 
     def summary(self) -> str:

@@ -32,10 +32,12 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.flowspace.filter import Filter
 from repro.net.packet import Packet
+from repro.nf.base import NFCrash
 from repro.nf.events import DO_NOT_DROP, EventAction, PacketEvent
+from repro.nf.southbound import SouthboundError
 from repro.nf.state import Scope
 from repro.controller.reports import OperationReport
-from repro.sim.process import AllOf
+from repro.sim.process import AllOf, AnyOf
 
 
 class ShareOperation:
@@ -73,6 +75,11 @@ class ShareOperation:
         #: Added per-packet latency samples (completion - arrival), ms.
         self.latency_samples: List[float] = []
         self.packets_serialized = 0
+        self.updates_skipped = 0
+        #: Reliable mode only: how long a worker waits for an origin's
+        #: completion event before declaring it dead (a crashed origin
+        #: never raises one; without a bound its group wedges forever).
+        self.update_timeout_ms = 250.0
         self.started = self.sim.event("share-started")
         self.stopped = self.sim.event("share-stopped")
         self.obs = controller.obs
@@ -239,41 +246,74 @@ class ShareOperation:
         while queue:
             origin_name, packet, enqueued_at = queue.popleft()
             origin = next(c for c in self.instances if c.name == origin_name)
-            with self.trace.phase(
-                "update",
-                mark=None,
-                nf=origin_name,
-                uid=packet.uid,
-                group=str(key),
-            ):
-                if self.consistency == "strong":
-                    packet.mark(DO_NOT_DROP)
-                waiter = self.sim.event("share-processed")
-                self._awaiting[(origin_name, packet.uid)] = waiter
-                self.controller.switch_client.packet_out(
-                    packet, self.controller.port_of(origin_name)
+            try:
+                with self.trace.phase(
+                    "update",
+                    mark=None,
+                    nf=origin_name,
+                    uid=packet.uid,
+                    group=str(key),
+                ):
+                    if self.consistency == "strong":
+                        packet.mark(DO_NOT_DROP)
+                    waiter = self.sim.event("share-processed")
+                    self._awaiting[(origin_name, packet.uid)] = waiter
+                    self.controller.switch_client.packet_out(
+                        packet, self.controller.port_of(origin_name)
+                    )
+                    if self.controller.reliable:
+                        # A crashed origin never raises its completion
+                        # event; bound the wait so the group survives.
+                        yield AnyOf(
+                            [waiter, self.sim.timeout(self.update_timeout_ms)]
+                        )
+                        if not waiter.triggered:
+                            self._awaiting.pop(
+                                (origin_name, packet.uid), None
+                            )
+                            raise SouthboundError(
+                                "share update at %s timed out" % origin_name,
+                                origin_name,
+                            )
+                    else:
+                        yield waiter
+                    # Pull the updated state from the origin and push it
+                    # to peers in parallel (why added latency is flat in
+                    # instance count). If the get fails, NO replica is
+                    # updated — live replicas all apply or all skip, so
+                    # strong consistency survives an origin crash.
+                    sync_filter = Filter.for_flow(
+                        packet.five_tuple, symmetric=True
+                    )
+                    puts = []
+                    for scope in self.scopes:
+                        chunks = yield self._get(origin, scope, sync_filter)
+                        if not chunks:
+                            continue
+                        for client in self.instances:
+                            if (client.name != origin_name
+                                    and not client.nf.failed):
+                                puts.append(self._put(client, chunks))
+                    if puts:
+                        yield AllOf(puts)
+                    self.packets_serialized += 1
+                    self.latency_samples.append(self.sim.now - enqueued_at)
+                    self.report.affected_uids.add(packet.uid)
+                    if self.obs.enabled:
+                        self.obs.metrics.counter(
+                            "ctrl.share.updates"
+                        ).inc(1, nf=origin_name)
+            except (NFCrash, SouthboundError) as exc:
+                # The origin (or a peer) died mid-update: skip this
+                # packet's update and keep serializing the rest of the
+                # group instead of wedging the whole session.
+                self.updates_skipped += 1
+                self.report.notes.append(
+                    "update for pkt#%d skipped: %s" % (packet.uid, exc)
                 )
-                yield waiter
-                # Pull the updated state from the origin and push it to
-                # peers in parallel (why added latency is flat in
-                # instance count).
-                sync_filter = Filter.for_flow(packet.five_tuple, symmetric=True)
-                puts = []
-                for scope in self.scopes:
-                    chunks = yield self._get(origin, scope, sync_filter)
-                    if not chunks:
-                        continue
-                    for client in self.instances:
-                        if client.name != origin_name:
-                            puts.append(self._put(client, chunks))
-                if puts:
-                    yield AllOf(puts)
-                self.packets_serialized += 1
-                self.latency_samples.append(self.sim.now - enqueued_at)
-                self.report.affected_uids.add(packet.uid)
                 if self.obs.enabled:
                     self.obs.metrics.counter(
-                        "ctrl.share.updates"
+                        "ctrl.share.updates_skipped"
                     ).inc(1, nf=origin_name)
         self._group_busy[key] = False
 
@@ -290,8 +330,16 @@ class ShareOperation:
     def _teardown(self):
         for handle in self._interest_handles:
             self.controller.remove_interest(handle)
-        acks = [client.disable_events(self.flt) for client in self.instances]
-        yield AllOf(acks)
+        acks = [
+            client.disable_events(self.flt)
+            for client in self.instances
+            if not client.nf.failed
+        ]
+        try:
+            if acks:
+                yield AllOf(acks)
+        except (NFCrash, SouthboundError) as exc:
+            self.report.notes.append("teardown incomplete: %s" % exc)
         restores = []
         for entry_filter, priority, actions in self._redirected_entries:
             restores.append(

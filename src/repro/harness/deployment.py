@@ -39,12 +39,23 @@ class Deployment:
         nf_channel_bandwidth_bytes_per_ms: float = 125_000.0,
         observe: bool = False,
         obs: Optional[Observability] = None,
+        faults=None,
+        retry=None,
     ) -> None:
         self.sim = sim or Simulator()
         #: One shared observability bundle; disabled unless ``observe=True``
         #: (or a pre-built ``obs`` is passed in), in which case spans land
         #: in ``self.obs.exporter``.
         self.obs = obs or Observability(sim=self.sim, enabled=observe)
+        #: Optional :class:`repro.faults.FaultPlan` (or a spec string for
+        #: :meth:`FaultPlan.from_spec`). Installing one switches the
+        #: whole control plane into reliable mode; ``None`` keeps the
+        #: classic, perfectly-reliable fast path byte-for-byte identical.
+        if isinstance(faults, str):
+            from repro.faults import FaultPlan
+
+            faults = FaultPlan.from_spec(faults)
+        self.faults = faults
         self.switch = Switch(
             self.sim,
             name="sw",
@@ -60,6 +71,8 @@ class Deployment:
             sw_channel_latency_ms=sw_channel_latency_ms,
             nf_channel_bandwidth_bytes_per_ms=nf_channel_bandwidth_bytes_per_ms,
             obs=self.obs,
+            faults=self.faults,
+            retry=retry,
         )
         self.nf_link_latency_ms = nf_link_latency_ms
         self.nfs: Dict[str, NetworkFunction] = {}

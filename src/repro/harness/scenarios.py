@@ -57,6 +57,7 @@ def run_move_experiment(
     operation: Optional[Callable[[Deployment], Any]] = None,
     scope: str = "per",
     observe: bool = False,
+    fault_plan: Any = None,
 ) -> MoveExperimentResult:
     """Replay a trace to instance 1, move flows to instance 2 mid-trace.
 
@@ -64,10 +65,14 @@ def run_move_experiment(
     Split/Merge migrate instead); it receives the deployment and must
     return an object with a ``done`` event carrying an OperationReport.
     ``observe=True`` enables tracing/metrics; the collected spans are at
-    ``result.deployment.obs.exporter.spans``.
+    ``result.deployment.obs.exporter.spans``. ``fault_plan`` (a
+    :class:`repro.faults.FaultPlan` or spec string) injects control-plane
+    faults and switches the deployment into reliable mode.
     """
     kwargs = dict(deployment_kwargs or {})
     kwargs.setdefault("observe", observe)
+    if fault_plan is not None:
+        kwargs.setdefault("faults", fault_plan)
     dep = Deployment(**kwargs)
     src = nf_factory(dep.sim, "inst1")
     dst = nf_factory(dep.sim, "inst2")

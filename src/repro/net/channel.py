@@ -37,7 +37,11 @@ class ControlChannel:
         self.obs = obs or NULL_OBS
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
         self._busy_until = 0.0
+        #: Optional :class:`repro.faults.ChannelInjector`; None means the
+        #: channel is perfectly reliable (the pre-faults fast path).
+        self.faults = None
 
     def transfer_time(self, size_bytes: int) -> float:
         """Latency + transmission time for a message of ``size_bytes``
@@ -70,5 +74,24 @@ class ControlChannel:
             metrics.histogram("chan.transfer_ms").observe(
                 delay, channel=self.name
             )
+        if self.faults is not None:
+            # The sender still occupies the transmitter (loss happens in
+            # the network, not at the NIC), so busy_until stays advanced.
+            verdict = self.faults.on_send(self.sim.now)
+            if not verdict.deliver:
+                self.messages_dropped += 1
+                if self.obs.enabled:
+                    self.obs.metrics.counter("chan.dropped").inc(
+                        1, channel=self.name
+                    )
+                return delay
+            delay += verdict.extra_delay_ms
+            for copy in range(1, verdict.copies):
+                # Duplicates trail the original by their own spike draw.
+                self.sim.schedule(delay + 0.05 * copy, deliver, *args)
+            if verdict.copies > 1 and self.obs.enabled:
+                self.obs.metrics.counter("chan.duplicated").inc(
+                    verdict.copies - 1, channel=self.name
+                )
         self.sim.schedule(delay, deliver, *args)
         return delay

@@ -67,6 +67,21 @@ class NetworkFunction:
         self._rule_buffers: Dict[int, List[Packet]] = {}
         self.event_sink: Optional[Callable[[PacketEvent], None]] = None
         self.event_channel = None  # ControlChannel towards the controller
+        # Reliable-delivery machinery (active only under a fault plan).
+        # Southbound RPC dedup: request id -> "pending" while the call
+        # runs, then a zero-arg resend thunk for the cached response.
+        self._rpc_seen: Dict[int, Any] = {}
+        self.rpcs_delivered = 0
+        self.rpcs_deduplicated = 0
+        self._crash_on_rpc: Optional[Tuple[int, str]] = None
+        # Reliable event channel: sequence numbers + ack + retransmit.
+        self.reliable_events = False
+        self.event_retransmit_ms = 15.0
+        self.event_max_attempts = 8
+        self._event_seq = 0
+        self._unacked_events: Dict[int, PacketEvent] = {}
+        self.events_retransmitted = 0
+        self.events_abandoned = 0
         # Transfer bookkeeping.
         self._transfers_active = 0
         self._op_tail: Optional[Event] = None
@@ -91,6 +106,51 @@ class NetworkFunction:
         """Attach the control channel used for raising events."""
         self.event_channel = channel
         self.event_sink = event_sink
+
+    def fail(self, reason: str) -> None:
+        """Fail-stop this instance; queued packets are lost."""
+        self.failed = True
+        self.failure_reason = reason
+        self.packets_lost_to_failure += len(self._queue)
+        self._queue.clear()
+
+    def crash_on_nth_rpc(self, nth: int, reason: str) -> None:
+        """Arm a crash on the ``nth`` southbound RPC delivered here."""
+        self._crash_on_rpc = (nth, reason)
+
+    # ------------------------------------------------- reliable RPC dispatch
+
+    def rpc_deliver(self, request_id: int, run: Callable[[], None]) -> None:
+        """At-most-once execution for reliable southbound requests.
+
+        The first delivery of a request id runs the operation; replays
+        that arrive while it is still in flight are absorbed (the
+        original run will send the response); replays after completion
+        re-send the cached response instead of re-applying state — this
+        is what makes a replayed ``put_perflow`` safe.
+        """
+        self.rpcs_delivered += 1
+        if self._crash_on_rpc is not None and not self.failed:
+            nth, reason = self._crash_on_rpc
+            if self.rpcs_delivered >= nth:
+                self.fail(reason)
+        state = self._rpc_seen.get(request_id)
+        if state is None:
+            self._rpc_seen[request_id] = "pending"
+            run()
+        elif state == "pending":
+            self.rpcs_deduplicated += 1
+        else:
+            self.rpcs_deduplicated += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("sb.replays_served").inc(
+                    1, nf=self.name
+                )
+            state()
+
+    def rpc_complete(self, request_id: int, resend: Callable[[], None]) -> None:
+        """Cache the response-resend thunk for a finished request."""
+        self._rpc_seen[request_id] = resend
 
     # --------------------------------------------------------------- data path
 
@@ -196,10 +256,50 @@ class NetworkFunction:
         if self.event_sink is None:
             return
         event = PacketEvent(self.name, packet, action, self.sim.now)
-        if self.event_channel is not None:
-            self.event_channel.send(event.size_bytes, self.event_sink, event)
-        else:
+        if self.event_channel is None:
             self.sim.schedule(0.0, self.event_sink, event)
+            return
+        if self.reliable_events:
+            # Sequence the event and keep a copy until the controller
+            # acks it; the controller releases events downstream in
+            # sequence order, so a retransmitted event cannot overtake
+            # its successors (order preservation survives loss).
+            self._event_seq += 1
+            event.seq = self._event_seq
+            self._unacked_events[event.seq] = event
+            self._send_event_attempt(event, 1)
+        else:
+            self.event_channel.send(event.size_bytes, self.event_sink, event)
+
+    def _send_event_attempt(self, event: PacketEvent, attempt: int) -> None:
+        self.event_channel.send(event.size_bytes, self.event_sink, event)
+        self.sim.schedule(
+            self.event_retransmit_ms * attempt,
+            self._check_event_ack, event.seq, attempt,
+        )
+
+    def _check_event_ack(self, seq: int, attempt: int) -> None:
+        event = self._unacked_events.get(seq)
+        if event is None:
+            return  # acked
+        if attempt >= self.event_max_attempts:
+            del self._unacked_events[seq]
+            self.events_abandoned += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("nf.events.abandoned").inc(
+                    1, nf=self.name
+                )
+            return
+        self.events_retransmitted += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("nf.events.retransmitted").inc(
+                1, nf=self.name
+            )
+        self._send_event_attempt(event, attempt + 1)
+
+    def event_ack(self, seq: int) -> None:
+        """Controller-side ack for a sequenced event landed here."""
+        self._unacked_events.pop(seq, None)
 
     def sb_enable_events(
         self, flt: Filter, action: EventAction, silent: bool = False

@@ -28,6 +28,9 @@ DO_NOT_DROP = "do-not-drop"
 #: Fixed wire overhead of an event message beyond the embedded packet copy.
 EVENT_OVERHEAD_BYTES = 74
 
+#: Wire size of an event acknowledgment (reliable event channel).
+EVENT_ACK_BYTES = 64
+
 _event_ids = itertools.count(1)
 
 
@@ -70,7 +73,9 @@ class EventRule:
 class PacketEvent:
     """A packet-received event raised by an NF to the controller."""
 
-    __slots__ = ("event_id", "nf_name", "packet", "action_taken", "raised_at")
+    __slots__ = (
+        "event_id", "nf_name", "packet", "action_taken", "raised_at", "seq"
+    )
 
     def __init__(
         self,
@@ -84,6 +89,9 @@ class PacketEvent:
         self.packet = packet
         self.action_taken = action_taken
         self.raised_at = raised_at
+        #: Per-NF sequence number under the reliable event channel;
+        #: ``None`` on the classic fire-and-forget path.
+        self.seq: Optional[int] = None
 
     @property
     def size_bytes(self) -> int:

@@ -20,15 +20,30 @@ the full result — the parallelizing optimization of §5.1.3.
 ``lock_per_chunk`` enables late locking for the early-release
 optimization.
 
+Reliable mode (``reliable=True``, switched on whenever a
+:class:`~repro.faults.FaultPlan` is installed): every RPC carries a
+request id, runs under a per-call timeout with capped exponential
+backoff retries (:class:`RetryPolicy`), and the NF-side dispatcher
+(:meth:`~repro.nf.base.NetworkFunction.rpc_deliver`) deduplicates
+replayed requests so a retried ``put_perflow`` never double-applies
+state. Streamed get responses additionally reconcile the chunk list in
+the final response against the chunks that actually arrived and NACK
+the NF to retransmit any the channel lost. A call whose retry budget is
+exhausted fails its event with :class:`SouthboundTimeout`, which the
+northbound operations turn into a clean abort. Without a fault plan the
+classic single-send path is taken and message sizes, channel timing,
+and the event timeline are exactly as before.
+
 When observability is enabled every RPC opens an ``sb.<op>`` span at
-request time and closes it when the response lands, and records its
-round-trip into the ``sb.rpc_ms`` histogram — the per-scope get/put/del
-timing behind Table 1.
+request time and closes it when the response lands, records its
+round-trip into the ``sb.rpc_ms`` histogram, and (reliable mode) its
+retry count into the ``sb.retries`` histogram.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+import itertools
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.flowspace.filter import Filter, FlowId
 from repro.net.channel import ControlChannel
@@ -43,6 +58,50 @@ from repro.sim.core import Event, Simulator
 REQUEST_BYTES = 128
 #: Per-chunk framing overhead when chunks travel in a response.
 CHUNK_OVERHEAD_BYTES = 74
+#: Extra request bytes for a request id on calls without a JSON body.
+REQUEST_ID_BYTES = 10
+
+
+class SouthboundError(Exception):
+    """A southbound RPC failed for control-plane reasons.
+
+    ``nf_name`` identifies the unreachable instance so an aborting
+    operation can pick the correct recovery direction (restore to the
+    source when the destination is unreachable, and vice versa).
+    """
+
+    def __init__(self, message: str, nf_name: str) -> None:
+        super().__init__(message)
+        self.nf_name = nf_name
+
+
+class SouthboundTimeout(SouthboundError):
+    """A southbound RPC exhausted its retry budget without a response."""
+
+
+class RetryPolicy:
+    """Per-call timeout with capped exponential backoff retries."""
+
+    __slots__ = ("timeout_ms", "backoff", "max_timeout_ms", "max_attempts")
+
+    def __init__(
+        self,
+        timeout_ms: float = 25.0,
+        backoff: float = 2.0,
+        max_timeout_ms: float = 400.0,
+        max_attempts: int = 7,
+    ) -> None:
+        if timeout_ms <= 0 or backoff < 1.0 or max_attempts < 1:
+            raise ValueError("invalid retry policy")
+        self.timeout_ms = timeout_ms
+        self.backoff = backoff
+        self.max_timeout_ms = max_timeout_ms
+        self.max_attempts = max_attempts
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timeout for the given 0-based attempt number."""
+        return min(self.timeout_ms * self.backoff ** attempt,
+                   self.max_timeout_ms)
 
 
 class NFClient:
@@ -55,6 +114,8 @@ class NFClient:
         to_nf: Optional[ControlChannel] = None,
         from_nf: Optional[ControlChannel] = None,
         obs=None,
+        reliable: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.sim = sim
         self.nf = nf
@@ -65,10 +126,124 @@ class NFClient:
         self.from_nf = from_nf or ControlChannel(
             sim, name="%s->ctrl" % nf.name, obs=self.obs
         )
+        self.reliable = reliable
+        self.retry = retry or RetryPolicy()
+        self._request_ids = itertools.count(1)
+        #: Cumulative reliability accounting; operations snapshot this to
+        #: fill ``OperationReport.retries`` / ``.timeouts``.
+        self.stats = {
+            "attempts": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "failures": 0,
+            "chunks_recovered": 0,
+        }
 
     @property
     def name(self) -> str:
         return self.nf.name
+
+    # --------------------------------------------------- reliability plumbing
+
+    def _next_request_id(self) -> Optional[int]:
+        return next(self._request_ids) if self.reliable else None
+
+    @staticmethod
+    def _settle(done: Event, value: Any = None) -> None:
+        """Trigger ``done`` unless a duplicate response beat us to it."""
+        if not done.triggered:
+            done.trigger(value)
+
+    @staticmethod
+    def _settle_fail(done: Event, exc: BaseException) -> None:
+        if not done.triggered:
+            done.fail(exc)
+
+    def _send_response(
+        self,
+        rid: Optional[int],
+        done: Event,
+        size: int,
+        payload: Any,
+        failed: bool = False,
+        deliver: Optional[Callable[[Any], None]] = None,
+    ) -> None:
+        """NF-side: ship one response; memoize the resend under ``rid``.
+
+        A replayed request finds the memoized thunk via
+        :meth:`~repro.nf.base.NetworkFunction.rpc_deliver` and re-sends
+        the response instead of re-running the operation.
+        """
+        if rid is not None and self.nf.failed:
+            # Fail-stop: a dead NF sends nothing; the caller's retry
+            # budget expires and the operation aborts on the timeout.
+            return
+        if deliver is None:
+            if failed:
+                deliver = lambda exc: self._settle_fail(done, exc)
+            else:
+                deliver = lambda value: self._settle(done, value)
+
+        def ship() -> None:
+            self.from_nf.send(size, deliver, payload)
+
+        ship()
+        if rid is not None:
+            self.nf.rpc_complete(rid, ship)
+
+    def _invoke(
+        self,
+        op: str,
+        done: Event,
+        request_size: int,
+        at_nf: Callable[[], None],
+        rid: Optional[int],
+    ) -> None:
+        """Ship one request; reliable mode adds timeout/retry/dedup."""
+        if rid is None:
+            self.to_nf.send(request_size, at_nf)
+            return
+        state = {"attempt": 0}
+
+        def send_attempt() -> None:
+            if done.triggered:
+                return
+            self.stats["attempts"] += 1
+            self.to_nf.send(request_size, self.nf.rpc_deliver, rid, at_nf)
+            self.sim.schedule(
+                self.retry.timeout_for(state["attempt"]),
+                check, state["attempt"],
+            )
+
+        def check(attempt: int) -> None:
+            if done.triggered or state["attempt"] != attempt:
+                return
+            self.stats["timeouts"] += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("sb.timeouts").inc(
+                    1, nf=self.nf.name, op=op
+                )
+            if attempt + 1 >= self.retry.max_attempts:
+                self.stats["failures"] += 1
+                self._settle_fail(done, SouthboundTimeout(
+                    "%s to %s gave up after %d attempts"
+                    % (op, self.nf.name, attempt + 1),
+                    self.nf.name,
+                ))
+                return
+            state["attempt"] = attempt + 1
+            self.stats["retries"] += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("sb.retries_total").inc(
+                    1, nf=self.nf.name, op=op
+                )
+            send_attempt()
+
+        if self.obs.enabled:
+            done.add_callback(lambda _evt: self.obs.metrics.histogram(
+                "sb.retries").observe(
+                    state["attempt"], nf=self.nf.name, op=op))
+        send_attempt()
 
     def _observe_rpc(self, op: str, done: Event, **attrs) -> Event:
         """Time one RPC: span from request to response, plus metrics."""
@@ -107,26 +282,66 @@ class NFClient:
         the caller ships them itself (peer-to-peer transfer, paper
         footnote 10). Mutually exclusive with ``stream``."""
         done = self.sim.event("get-%s@%s" % (scope.value, self.nf.name))
+        rid = self._next_request_id()
+        #: Streamed chunks that actually landed controller-side; lost or
+        #: duplicated chunk messages are reconciled against this.
+        received_ids: set = set()
+
+        def stream_recv(chunk: StateChunk) -> None:
+            if id(chunk) in received_ids:
+                return  # duplicated or already-recovered chunk
+            received_ids.add(id(chunk))
+            stream(chunk)
 
         def stream_back(chunk: StateChunk) -> None:
             if stream is not None:
                 self.from_nf.send(
-                    chunk.wire_size_bytes + CHUNK_OVERHEAD_BYTES, stream, chunk
+                    chunk.wire_size_bytes + CHUNK_OVERHEAD_BYTES,
+                    stream_recv, chunk,
                 )
+
+        def close_ok(chunks: List[StateChunk]) -> None:
+            # Controller-side: the final response names every chunk, so
+            # any streamed chunk the channel ate is detected here and
+            # NACKed back to the NF for retransmission before the call
+            # completes — the caller then sees exactly-once chunks.
+            if done.triggered:
+                return
+            missing = [c for c in chunks if id(c) not in received_ids]
+            if not missing:
+                done.trigger(chunks)
+                return
+            self.stats["chunks_recovered"] += len(missing)
+            if self.obs.enabled:
+                self.obs.metrics.counter("sb.chunks_recovered").inc(
+                    len(missing), nf=self.nf.name
+                )
+
+            def retransmit() -> None:
+                for chunk in missing:
+                    self.from_nf.send(
+                        chunk.wire_size_bytes + CHUNK_OVERHEAD_BYTES,
+                        stream_recv, chunk,
+                    )
+                self.from_nf.send(REQUEST_BYTES, close_ok, chunks)
+
+            self.to_nf.send(REQUEST_BYTES, retransmit)
 
         def respond(event: Event) -> None:
             if not event.ok:
-                self.from_nf.send(
-                    REQUEST_BYTES, lambda: done.fail(event.exception)
-                )
+                self._send_response(rid, done, REQUEST_BYTES,
+                                    event.exception, failed=True)
                 return
             chunks: List[StateChunk] = event.value
-            if stream is not None or raw_stream is not None:
+            if stream is not None and rid is not None:
+                self._send_response(rid, done, REQUEST_BYTES, chunks,
+                                    deliver=close_ok)
+            elif stream is not None or raw_stream is not None:
                 # Chunks already streamed; just close the call.
-                self.from_nf.send(REQUEST_BYTES, done.trigger, chunks)
+                self._send_response(rid, done, REQUEST_BYTES, chunks)
             else:
                 size = chunks_wire_bytes(chunks) + REQUEST_BYTES
-                self.from_nf.send(size, done.trigger, chunks)
+                self._send_response(rid, done, size, chunks)
 
         def at_nf() -> None:
             if raw_stream is not None:
@@ -148,11 +363,13 @@ class NFClient:
         request = protocol.get_request(
             "get%s" % scope.value.capitalize(),
             flt,
+            request_id=rid,
             lock_per_chunk=lock_per_chunk,
             compress=compress,
             stream=stream is not None or raw_stream is not None,
         )
-        self.to_nf.send(protocol.message_size(request), at_nf)
+        self._invoke("get.%s" % scope.value, done,
+                     protocol.message_size(request), at_nf, rid)
         return self._observe_rpc(
             "get.%s" % scope.value,
             done,
@@ -204,15 +421,17 @@ class NFClient:
         diagnostics. Cost: one request/response of control-message size.
         """
         done = self.sim.event("list@%s" % self.nf.name)
+        rid = self._next_request_id()
 
         def at_nf() -> None:
             keys = self.nf.state_keys(scope, flt)
             flowids = [key for key in keys if isinstance(key, FlowId)]
-            self.from_nf.send(
-                REQUEST_BYTES + 16 * len(flowids), done.trigger, flowids
+            self._send_response(
+                rid, done, REQUEST_BYTES + 16 * len(flowids), flowids
             )
 
-        self.to_nf.send(REQUEST_BYTES, at_nf)
+        size = REQUEST_BYTES + (REQUEST_ID_BYTES if rid is not None else 0)
+        self._invoke("list.%s" % scope.value, done, size, at_nf, rid)
         return self._observe_rpc("list.%s" % scope.value, done)
 
     # ------------------------------------------------------------------- put
@@ -220,22 +439,22 @@ class NFClient:
     def _put(self, chunks: Iterable[StateChunk], op: str = "put") -> Event:
         chunk_list = list(chunks)
         done = self.sim.event("put@%s" % self.nf.name)
+        rid = self._next_request_id()
 
         def respond(event: Event) -> None:
             if not event.ok:
-                self.from_nf.send(
-                    REQUEST_BYTES, lambda: done.fail(event.exception)
-                )
+                self._send_response(rid, done, REQUEST_BYTES,
+                                    event.exception, failed=True)
                 return
-            self.from_nf.send(REQUEST_BYTES, done.trigger, event.value)
+            self._send_response(rid, done, REQUEST_BYTES, event.value)
 
         def at_nf() -> None:
             proc = self.nf.sb_put(chunk_list)
             proc.done.add_callback(respond)
 
-        header = protocol.put_request("put", len(chunk_list))
+        header = protocol.put_request("put", len(chunk_list), request_id=rid)
         size = chunks_wire_bytes(chunk_list) + protocol.message_size(header)
-        self.to_nf.send(size, at_nf)
+        self._invoke(op, done, size, at_nf, rid)
         return self._observe_rpc(op, done, chunks=len(chunk_list))
 
     def put_perflow(self, chunks: Iterable[StateChunk]) -> Event:
@@ -255,18 +474,24 @@ class NFClient:
     def _delete(self, scope: Scope, flowids: Iterable[FlowId]) -> Event:
         ids = list(flowids)
         done = self.sim.event("del@%s" % self.nf.name)
+        rid = self._next_request_id()
 
         def respond(event: Event) -> None:
-            self.from_nf.send(REQUEST_BYTES, done.trigger, event.value)
+            if not event.ok:
+                self._send_response(rid, done, REQUEST_BYTES,
+                                    event.exception, failed=True)
+                return
+            self._send_response(rid, done, REQUEST_BYTES, event.value)
 
         def at_nf() -> None:
             proc = self.nf.sb_delete(scope, ids)
             proc.done.add_callback(respond)
 
         request = protocol.delete_request(
-            "del%s" % scope.value.capitalize(), ids
+            "del%s" % scope.value.capitalize(), ids, request_id=rid
         )
-        self.to_nf.send(protocol.message_size(request), at_nf)
+        self._invoke("del.%s" % scope.value, done,
+                     protocol.message_size(request), at_nf, rid)
         return self._observe_rpc(
             "del.%s" % scope.value, done, flowids=len(ids)
         )
@@ -286,25 +511,32 @@ class NFClient:
     ) -> Event:
         """``enableEvents(filter, action)``; triggers when the rule is live."""
         done = self.sim.event("enableEvents@%s" % self.nf.name)
+        rid = self._next_request_id()
 
         def at_nf() -> None:
             self.nf.sb_enable_events(flt, action, silent=silent)
-            self.from_nf.send(REQUEST_BYTES, done.trigger, None)
+            self._send_response(rid, done, REQUEST_BYTES, None)
 
-        request = protocol.events_request("enableEvents", flt, action.value)
-        self.to_nf.send(protocol.message_size(request), at_nf)
+        request = protocol.events_request(
+            "enableEvents", flt, action.value, request_id=rid
+        )
+        self._invoke("enableEvents", done,
+                     protocol.message_size(request), at_nf, rid)
         return self._observe_rpc("enableEvents", done, action=action.value)
 
     def disable_events(self, flt: Filter) -> Event:
         """``disableEvents(filter)``; triggers when the rule is removed."""
         done = self.sim.event("disableEvents@%s" % self.nf.name)
+        rid = self._next_request_id()
 
         def at_nf() -> None:
             self.nf.sb_disable_events(flt)
-            self.from_nf.send(REQUEST_BYTES, done.trigger, None)
+            self._send_response(rid, done, REQUEST_BYTES, None)
 
-        request = protocol.events_request("disableEvents", flt)
-        self.to_nf.send(protocol.message_size(request), at_nf)
+        request = protocol.events_request("disableEvents", flt,
+                                          request_id=rid)
+        self._invoke("disableEvents", done,
+                     protocol.message_size(request), at_nf, rid)
         return self._observe_rpc("disableEvents", done)
 
     def disable_events_covered(self, flt: Filter) -> Event:
@@ -314,10 +546,12 @@ class NFClient:
         any per-flow rules late locking created (§5.1.3).
         """
         done = self.sim.event("disableEventsCovered@%s" % self.nf.name)
+        rid = self._next_request_id()
 
         def at_nf() -> None:
             self.nf.sb_disable_events_covered(flt)
-            self.from_nf.send(REQUEST_BYTES, done.trigger, None)
+            self._send_response(rid, done, REQUEST_BYTES, None)
 
-        self.to_nf.send(REQUEST_BYTES, at_nf)
+        size = REQUEST_BYTES + (REQUEST_ID_BYTES if rid is not None else 0)
+        self._invoke("disableEventsCovered", done, size, at_nf, rid)
         return self._observe_rpc("disableEventsCovered", done)
