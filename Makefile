@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-obs test-faults bench examples validate clean results
+.PHONY: install test test-obs test-faults bench bench-smoke examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
+test: bench-smoke
 	$(PYTHON) -m pytest tests/
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_smoke.py
 
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs

@@ -18,6 +18,7 @@ from __future__ import annotations
 import pytest
 
 from repro.harness import run_move_experiment
+from repro.net.channel import BatchConfig
 
 from common import (
     format_table,
@@ -119,3 +120,70 @@ def test_fig10_move_guarantees(benchmark):
     # The strong variant is also safe and ordered.
     assert op_strong.loss_free and op_strong.order_preserving
     assert op_strong.report.packets_dropped == 0
+
+
+# ---------------------------------------------------------------- batching
+
+BATCH_CONFIGS = [
+    ("off", None),
+    ("on (defaults)", BatchConfig()),
+    ("on (msgs=32)", BatchConfig(batch_max_msgs=32)),
+]
+
+
+def total_control_messages(dep):
+    total = 0
+    for client in dep.controller.clients.values():
+        total += client.to_nf.messages_sent + client.from_nf.messages_sent
+    switch_client = dep.controller.switch_client
+    total += switch_client.to_switch.messages_sent
+    total += switch_client.from_switch.messages_sent
+    return total
+
+
+def run_batching_sweep():
+    results = {}
+    for label, config in BATCH_CONFIGS:
+        results[label] = run_move_experiment(
+            guarantee="lf",
+            parallel=True,
+            n_flows=N_FLOWS,
+            rate_pps=RATE_PPS,
+            data_packets=DATA_PACKETS,
+            seed=7,
+            batching=config,
+        )
+    return results
+
+
+def test_fig10_batching_sweep(benchmark):
+    """§8.3 batching: LF+PL move of 500 flows, transport off vs on."""
+    results = run_once(benchmark, run_batching_sweep)
+
+    rows = []
+    for label, _config in BATCH_CONFIGS:
+        r = results[label]
+        rows.append([
+            label,
+            "%.0f" % r.duration_ms,
+            total_control_messages(r.deployment),
+            "yes" if r.loss_free else "NO",
+        ])
+    publish(
+        "fig10_batching",
+        format_table(
+            "§8.3 batching — LF PL move of %d flows @ %d pps"
+            % (N_FLOWS, int(RATE_PPS)),
+            ["transport", "total_ms", "ctrl_msgs", "loss-free"],
+            rows,
+        ),
+    )
+
+    off = results["off"]
+    on = results["on (defaults)"]
+    assert off.loss_free and on.loss_free
+    # Acceptance: >=2x fewer control-plane messages and a faster move.
+    assert total_control_messages(on.deployment) * 2 <= (
+        total_control_messages(off.deployment)
+    )
+    assert on.duration_ms < off.duration_ms

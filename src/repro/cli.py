@@ -27,6 +27,21 @@ from repro import __version__
 from repro.harness import run_move_experiment
 
 
+def _guarantee(value: str):
+    """argparse type: any :meth:`Guarantee.parse` alias → the enum.
+
+    Accepts every alias the northbound API does (``ng``, ``none``,
+    ``lf``, ``loss-free``, ``op``, ``lf+op``, ``op-strong``, ...), so
+    the CLI and the Python API speak the same vocabulary.
+    """
+    from repro.controller.move import Guarantee
+
+    try:
+        return Guarantee.parse(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -35,9 +50,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo-move", help="run one instrumented move")
-    demo.add_argument("--guarantee", default="loss-free",
-                      choices=["ng", "loss-free", "op", "op-strong"],
-                      help="move safety level")
+    demo.add_argument("--guarantee", default="loss-free", type=_guarantee,
+                      metavar="LEVEL",
+                      help="move safety level (ng, loss-free/lf, op, "
+                           "op-strong, or any Guarantee alias)")
     demo.add_argument("--flows", type=int, default=200)
     demo.add_argument("--rate", type=float, default=2500.0,
                       help="replay rate in packets/second")
@@ -52,6 +68,8 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--faults", metavar="SPEC", default=None,
                       help="fault-plan spec, e.g. 'seed=3,drop=0.05' "
                            "(default: $OPENNF_FAULTS if set)")
+    demo.add_argument("--batching", action="store_true",
+                      help="batch control-plane messages (§8.3)")
 
     faults = sub.add_parser(
         "faults",
@@ -62,9 +80,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="fault-plan spec, e.g. "
                              "'seed=3,drop=0.05,delay=0.02,crash=inst2#40' "
                              "(default: $OPENNF_FAULTS)")
-    faults.add_argument("--guarantee", default="op",
-                        choices=["ng", "loss-free", "op", "op-strong"],
-                        help="move safety level")
+    faults.add_argument("--guarantee", default="op", type=_guarantee,
+                        metavar="LEVEL",
+                        help="move safety level (any Guarantee alias)")
     faults.add_argument("--flows", type=int, default=100)
     faults.add_argument("--rate", type=float, default=2500.0,
                         help="replay rate in packets/second")
@@ -73,9 +91,9 @@ def _build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="run one observed move and render its span timeline"
     )
-    trace.add_argument("--guarantee", default="op",
-                       choices=["ng", "loss-free", "op", "op-strong"],
-                       help="move safety level")
+    trace.add_argument("--guarantee", default="op", type=_guarantee,
+                       metavar="LEVEL",
+                       help="move safety level (any Guarantee alias)")
     trace.add_argument("--flows", type=int, default=100)
     trace.add_argument("--rate", type=float, default=2500.0,
                        help="replay rate in packets/second")
@@ -132,6 +150,7 @@ def _cmd_demo_move(args: argparse.Namespace) -> int:
         seed=args.seed,
         operation=operation,
         fault_plan=_fault_plan_from(args.faults),
+        batching=True if args.batching else None,
     )
     report = result.report
     print(report.summary())

@@ -5,17 +5,27 @@ from repro.controller.copy import CopyOperation
 from repro.controller.forwarding import SwitchClient
 from repro.controller.journal import Journal, JournalEntry
 from repro.controller.move import Guarantee, MoveOperation
+from repro.controller.operation import (
+    DeferredOperation,
+    Operation,
+    OperationAborted,
+)
+from repro.controller.pipeline import WindowedPutPipeline
 from repro.controller.reports import OperationReport
 from repro.controller.share import ShareOperation
 
 __all__ = [
     "CopyOperation",
+    "DeferredOperation",
     "Guarantee",
     "Journal",
     "JournalEntry",
     "MoveOperation",
     "OpenNFController",
+    "Operation",
+    "OperationAborted",
     "OperationReport",
     "ShareOperation",
     "SwitchClient",
+    "WindowedPutPipeline",
 ]

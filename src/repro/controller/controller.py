@@ -28,7 +28,7 @@ import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.flowspace.filter import Filter
-from repro.net.channel import ControlChannel
+from repro.net.channel import BatchConfig, ControlChannel
 from repro.net.packet import Packet
 from repro.net.switch import Switch
 from repro.nf.base import NetworkFunction
@@ -36,6 +36,7 @@ from repro.nf.events import EVENT_ACK_BYTES, PacketEvent
 from repro.nf.southbound import NFClient
 from repro.nf.state import normalize_scope
 from repro.controller.forwarding import SwitchClient
+from repro.controller.operation import DeferredOperation, Operation
 from repro.controller.pump import ChunkPump
 from repro.obs import NULL_OBS
 from repro.sim.core import Simulator
@@ -75,9 +76,18 @@ class OpenNFController:
         obs=None,
         faults=None,
         retry=None,
+        batching: Optional[BatchConfig] = None,
     ) -> None:
         self.sim = sim
         self.obs = obs or NULL_OBS
+        #: Optional :class:`repro.net.channel.BatchConfig`. Installing
+        #: one turns on the §8.3 fast path everywhere: queued sends
+        #: coalesce into frames, chunk streams ship multi-chunk frames
+        #: paying one inbox slot each, and move/copy pipeline their
+        #: get→put hand-off. ``None`` keeps the classic per-message
+        #: path byte-identical.
+        self.batching = batching if (batching is None or batching.enabled) \
+            else None
         self.msg_proc_ms = msg_proc_ms
         self.nf_channel_latency_ms = nf_channel_latency_ms
         self.sw_channel_latency_ms = sw_channel_latency_ms
@@ -114,12 +124,15 @@ class OpenNFController:
         self.default_event_handler: Optional[Callable[[PacketEvent], None]] = None
         self.events_received = 0
         self.packet_ins_received = 0
-        #: Filters of in-flight move operations, for conflict detection:
-        #: two simultaneous moves over overlapping flow space would race
-        #: on rules and state; the later one is queued until the earlier
-        #: finishes. (handle -> (filter, done event))
-        self._active_moves: Dict[int, Tuple[Filter, Any]] = {}
-        self._move_handle_counter = 0
+        #: Admission table of in-flight operation filters (moves, copies,
+        #: AND shares): two simultaneous operations over overlapping flow
+        #: space would race on rules and state; the later one is deferred
+        #: until the earlier finishes. (handle -> (filter, done event))
+        self._admission: Dict[int, Tuple[Filter, Any]] = {}
+        self._operation_handle_counter = 0
+        #: Total operations (any kind) deferred by admission control.
+        self.operations_queued_for_conflict = 0
+        #: Moves specifically (kept for the pre-unification callers).
         self.moves_queued_for_conflict = 0
 
     # -------------------------------------------------------------------- wiring
@@ -128,6 +141,11 @@ class OpenNFController:
         """Install the fault plan's injector for this channel, if any."""
         if self.faults is not None and channel.faults is None:
             channel.faults = self.faults.injector_for(channel.name)
+
+    def _attach_batching(self, channel: ControlChannel) -> None:
+        """Install the batching config on this channel, if any."""
+        if self.batching is not None and channel.batching is None:
+            channel.batching = self.batching
 
     def attach_switch(self, switch: Switch) -> None:
         """Connect the controller to its SDN switch."""
@@ -147,6 +165,8 @@ class OpenNFController:
         )
         self._attach_faults(self.switch_client.to_switch)
         self._attach_faults(self.switch_client.from_switch)
+        self._attach_batching(self.switch_client.to_switch)
+        self._attach_batching(self.switch_client.from_switch)
         switch.set_packet_in_handler(self.handle_packet_in)
 
     def register_nf(self, nf: NetworkFunction, port: Optional[str] = None) -> NFClient:
@@ -175,9 +195,12 @@ class OpenNFController:
             obs=self.obs,
             reliable=self.reliable,
             retry=self.retry,
+            batch=self.batching,
         )
         self._attach_faults(client.to_nf)
         self._attach_faults(client.from_nf)
+        self._attach_batching(client.to_nf)
+        self._attach_batching(client.from_nf)
         nf.connect_controller(client.from_nf, self.handle_nf_event)
         if self.reliable:
             # Events get sequence numbers, controller acks, and NF-side
@@ -268,8 +291,11 @@ class OpenNFController:
         client = self.clients.get(event.nf_name)
         if client is not None:
             # Ack every arrival (a duplicate means our previous ack was
-            # lost); the NF stops retransmitting once one lands.
-            client.to_nf.send(EVENT_ACK_BYTES, client.nf.event_ack, event.seq)
+            # lost); the NF stops retransmitting once one lands. Acks
+            # coalesce into batch frames when the fast path is on.
+            client.to_nf.queue_send(
+                EVENT_ACK_BYTES, client.nf.event_ack, event.seq
+            )
         state = self._event_reorder.setdefault(
             event.nf_name, {"next": 1, "pending": {}}
         )
@@ -336,6 +362,22 @@ class OpenNFController:
             self.obs.metrics.counter("ctrl.inbox").inc(1, kind="chunk")
         self.inbox.push(("chunk", chunk, handler))
 
+    def enqueue_chunks(
+        self, handler: Callable[[List[Any]], None], chunks: List[Any]
+    ) -> None:
+        """Route a multi-chunk frame through the inbox as ONE item.
+
+        The §8.3 fast path: a frame of N chunks costs one ``msg_proc_ms``
+        handling slot instead of N, and ``handler`` receives the whole
+        list at once.
+        """
+        chunks = list(chunks)
+        if not chunks:
+            return
+        if self.obs.enabled:
+            self.obs.metrics.counter("ctrl.inbox").inc(1, kind="chunk-frame")
+        self.inbox.push(("chunk", chunks, handler), weight=len(chunks))
+
     def inbox_drained(self):
         """Event firing when everything queued so far has been handled."""
         return self.inbox.drained()
@@ -355,6 +397,47 @@ class OpenNFController:
                 interest.callback(packet)
                 return
 
+    # ----------------------------------------------------------------- admission
+
+    def _conflicting(self, flt: Filter) -> List[Any]:
+        """Done-events of in-flight operations overlapping ``flt``."""
+        return [
+            done for (active_filter, done) in self._admission.values()
+            if active_filter.intersects(flt)
+        ]
+
+    def _track_operation(self, flt: Filter, operation):
+        """Enter a live operation into the admission table until done."""
+        self._operation_handle_counter += 1
+        handle = self._operation_handle_counter
+        self._admission[handle] = (flt, operation.done)
+        operation.done.add_callback(
+            lambda _evt: self._admission.pop(handle, None)
+        )
+        return operation
+
+    def _admit(self, kind: str, flt: Filter, start, guarantee: Any = None):
+        """Start ``start()`` now, or defer it behind conflicting flow space.
+
+        One admission table covers move, copy, AND share: any in-flight
+        operation whose filter intersects ``flt`` defers the newcomer
+        (uniformly — an overlapping copy during a move used to race
+        unguarded). Callers always receive the same
+        :class:`~repro.controller.operation.Operation` handle surface.
+        """
+        conflicts = self._conflicting(flt)
+        if not conflicts:
+            return self._track_operation(flt, start())
+        self.operations_queued_for_conflict += 1
+        if kind == "move":
+            self.moves_queued_for_conflict += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("ctrl.admission.deferred").inc(
+                1, kind=kind
+            )
+        return DeferredOperation(self, kind, flt, conflicts, start,
+                                 guarantee=guarantee)
+
     # ---------------------------------------------------------------- northbound
 
     def move(
@@ -369,13 +452,20 @@ class OpenNFController:
         compress: bool = False,
         peer_to_peer: bool = False,
         drain_grace_ms: float = 30.0,
-    ):
+    ) -> Operation:
         """``move(srcInst, dstInst, filter, scope, properties)`` (§5.1).
 
-        Returns a :class:`~repro.controller.move.MoveOperation`; its
-        ``done`` event triggers with the operation report.
+        ``guarantee`` accepts a :class:`~repro.controller.move.Guarantee`
+        member or any of its string spellings. Returns an
+        :class:`~repro.controller.operation.Operation` handle (a live
+        :class:`~repro.controller.move.MoveOperation`, or a
+        :class:`~repro.controller.operation.DeferredOperation` when the
+        flow space conflicts with an in-flight operation); its ``done``
+        event triggers with the operation report.
         """
         from repro.controller.move import Guarantee, MoveOperation
+
+        parsed = Guarantee.parse(guarantee)
 
         def start() -> MoveOperation:
             return MoveOperation(
@@ -384,7 +474,7 @@ class OpenNFController:
                 dst=self.client(dst),
                 flt=flt,
                 scopes=normalize_scope(scope),
-                guarantee=Guarantee.parse(guarantee),
+                guarantee=parsed,
                 parallel=parallel,
                 early_release=early_release,
                 compress=compress,
@@ -392,41 +482,25 @@ class OpenNFController:
                 drain_grace_ms=drain_grace_ms,
             )
 
-        conflicts = [
-            done for (active_filter, done) in self._active_moves.values()
-            if active_filter.intersects(flt)
-        ]
-        if not conflicts:
-            return self._track_move(flt, start())
-        # Overlapping flow space: defer until every conflicting move is
-        # finished, then start. Callers receive a handle with the same
-        # ``done`` interface.
-        self.moves_queued_for_conflict += 1
-        return _DeferredMove(self, flt, conflicts, start)
-
-    def _track_move(self, flt: Filter, operation):
-        self._move_handle_counter += 1
-        handle = self._move_handle_counter
-        self._active_moves[handle] = (flt, operation.done)
-        operation.done.add_callback(
-            lambda _evt: self._active_moves.pop(handle, None)
-        )
-        return operation
+        return self._admit("move", flt, start, guarantee=parsed)
 
     def copy(self, src: Any, dst: Any, flt: Filter, scope: Any = "multi",
-             parallel: bool = True, compress: bool = False):
+             parallel: bool = True, compress: bool = False) -> Operation:
         """``copy(srcInst, dstInst, filter, scope)`` (§5.2.1)."""
         from repro.controller.copy import CopyOperation
 
-        return CopyOperation(
-            controller=self,
-            src=self.client(src),
-            dst=self.client(dst),
-            flt=flt,
-            scopes=normalize_scope(scope),
-            parallel=parallel,
-            compress=compress,
-        )
+        def start() -> CopyOperation:
+            return CopyOperation(
+                controller=self,
+                src=self.client(src),
+                dst=self.client(dst),
+                flt=flt,
+                scopes=normalize_scope(scope),
+                parallel=parallel,
+                compress=compress,
+            )
+
+        return self._admit("copy", flt, start)
 
     def share(
         self,
@@ -435,18 +509,21 @@ class OpenNFController:
         scope: Any = "multi",
         consistency: str = "strong",
         group_by: str = "host",
-    ):
+    ) -> Operation:
         """``share(list<inst>, filter, scope, consistency)`` (§5.2.2)."""
         from repro.controller.share import ShareOperation
 
-        return ShareOperation(
-            controller=self,
-            instances=[self.client(i) for i in instances],
-            flt=flt,
-            scopes=normalize_scope(scope),
-            consistency=consistency,
-            group_by=group_by,
-        )
+        def start() -> ShareOperation:
+            return ShareOperation(
+                controller=self,
+                instances=[self.client(i) for i in instances],
+                flt=flt,
+                scopes=normalize_scope(scope),
+                consistency=consistency,
+                group_by=group_by,
+            )
+
+        return self._admit("share", flt, start, guarantee=consistency)
 
     def notify(
         self,
@@ -472,55 +549,3 @@ class OpenNFController:
             return handle
         client.disable_events(flt)
         return None
-
-
-class _DeferredMove:
-    """A move waiting for conflicting operations to finish.
-
-    Exposes the same ``done`` event (and a ``report`` property once
-    available) as a live :class:`~repro.controller.move.MoveOperation`.
-    """
-
-    def __init__(self, controller, flt, conflicts, start) -> None:
-        self.controller = controller
-        self.filter = flt
-        self.done = controller.sim.event("deferred-move-done")
-        self.operation = None
-        self._start = start
-        remaining = {"count": len(conflicts)}
-
-        def on_conflict_done(_evt) -> None:
-            remaining["count"] -= 1
-            if remaining["count"] == 0:
-                controller.sim.schedule(0.0, self._launch)
-
-        for done in conflicts:
-            done.add_callback(on_conflict_done)
-
-    def _launch(self) -> None:
-        # Another overlapping move may have started while we waited.
-        conflicts = [
-            done for (active_filter, done)
-            in self.controller._active_moves.values()
-            if active_filter.intersects(self.filter)
-        ]
-        if conflicts:
-            remaining = {"count": len(conflicts)}
-
-            def on_conflict_done(_evt) -> None:
-                remaining["count"] -= 1
-                if remaining["count"] == 0:
-                    self.controller.sim.schedule(0.0, self._launch)
-
-            for done in conflicts:
-                done.add_callback(on_conflict_done)
-            return
-        self.operation = self.controller._track_move(self.filter, self._start())
-        self.operation.done.add_callback(
-            lambda evt: self.done.trigger(evt.value)
-            if evt.ok else self.done.fail(evt.exception)
-        )
-
-    @property
-    def report(self):
-        return None if self.operation is None else self.operation.report

@@ -16,12 +16,16 @@ from repro.flowspace.filter import Filter
 from repro.nf.base import NFCrash
 from repro.nf.southbound import SouthboundError
 from repro.nf.state import Scope, StateChunk
+from repro.controller.operation import Operation
+from repro.controller.pipeline import WindowedPutPipeline
 from repro.controller.reports import OperationReport
 from repro.sim.process import AllOf
 
 
-class CopyOperation:
+class CopyOperation(Operation):
     """One in-flight ``copy``; ``done`` fires with the OperationReport."""
+
+    kind = "copy"
 
     def __init__(
         self,
@@ -49,6 +53,7 @@ class CopyOperation:
             dst=dst.name,
         )
         self.done = self.sim.event("copy-done")
+        self._abort_requested = None
         #: Chunks whose put at the destination has completed; on abort
         #: this becomes ``report.partial_chunks`` so callers know what
         #: already landed (and must be reconciled or purged) instead of
@@ -95,10 +100,15 @@ class CopyOperation:
             return self.src.get_multiflow, self.dst.put_multiflow
 
         def get_allflows(flt, stream=None, lock_per_chunk=False,
-                         lock_silent=False, compress=False):
-            return self.src.get_allflows(stream=stream, compress=compress)
+                         lock_silent=False, compress=False,
+                         stream_frame=None):
+            return self.src.get_allflows(stream=stream, compress=compress,
+                                         stream_frame=stream_frame)
 
         return get_allflows, self.dst.put_allflows
+
+    def _abort_target(self) -> str:
+        return self.dst.name
 
     def _run(self):
         self.report.started_at = self.sim.now
@@ -137,12 +147,42 @@ class CopyOperation:
             )
 
     def _run_scopes(self):
+        batching = self.controller.batching
         for scope in self.scopes:
+            self._checkpoint()
             getter, putter = self._scope_calls(scope)
             with self.trace.phase(
                 "scope.%s" % scope.value, mark="copied-%s" % scope.value
             ):
-                if self.parallel:
+                if self.parallel and batching is not None:
+                    # §8.3 fast path: multi-chunk frames, one inbox slot
+                    # per frame, windowed frame puts toward the
+                    # destination (see MoveOperation._transfer_state).
+                    pipeline = WindowedPutPipeline(
+                        self.sim,
+                        lambda frame, _putter=putter: self._track_put(
+                            _putter(frame), len(frame)
+                        ),
+                        batching.pipeline_window,
+                    )
+
+                    def handle_chunk_frame(frame, _scope=scope,
+                                           _pipeline=pipeline):
+                        for chunk in frame:
+                            self._note_chunk(_scope, chunk)
+                        _pipeline.submit(frame)
+
+                    yield getter(
+                        self.flt,
+                        stream_frame=lambda frame, _h=handle_chunk_frame: (
+                            self.controller.enqueue_chunks(_h, frame)
+                        ),
+                        compress=self.compress,
+                    )
+                    yield self.controller.inbox_drained()
+                    yield pipeline.drained()
+                    self._checkpoint()
+                elif self.parallel:
                     put_events: List[Any] = []
 
                     def handle_chunk(chunk: StateChunk, _putter=putter,

@@ -47,6 +47,8 @@ from repro.nf.base import NFCrash
 from repro.nf.events import DO_NOT_BUFFER, EventAction, PacketEvent
 from repro.nf.southbound import SouthboundError
 from repro.nf.state import Scope, StateChunk
+from repro.controller.operation import Operation
+from repro.controller.pipeline import WindowedPutPipeline
 from repro.controller.reports import OperationReport
 from repro.sim.process import AllOf, AnyOf
 
@@ -86,8 +88,10 @@ class Guarantee(enum.Enum):
             raise ValueError("unknown guarantee %r" % (value,))
 
 
-class MoveOperation:
+class MoveOperation(Operation):
     """One in-flight ``move``; ``done`` fires with the OperationReport."""
+
+    kind = "move"
 
     def __init__(
         self,
@@ -133,12 +137,13 @@ class MoveOperation:
 
         self.report = OperationReport(
             kind="move",
-            guarantee=guarantee.value,
+            guarantee=guarantee,
             filter_repr=repr(flt),
             src=src.name,
             dst=dst.name,
         )
         self.done = self.sim.event("move-done")
+        self._abort_requested = None
         #: Observability bundle shared with the owning controller; phase
         #: marks in :attr:`report` are derived from phase-span closes.
         self.obs = controller.obs
@@ -185,11 +190,18 @@ class MoveOperation:
 
     # ------------------------------------------------------------------ driver
 
+    def _abort_target(self) -> str:
+        # An aborted move unwinds exactly like a destination failure:
+        # exported chunks restore to the source, events are disabled,
+        # and buffered packets flush back to the source port.
+        return self.dst.name
+
     def _run(self):
         self.report.started_at = self.sim.now
         self._src_drops_at_start = self.src.nf.packets_dropped_silent
         self._dst_buffered_at_start = len(self.dst.nf.buffered_log)
         try:
+            self._checkpoint()
             if self.guarantee is Guarantee.NONE:
                 yield from self._run_no_guarantee()
             elif self.guarantee is Guarantee.ORDER_PRESERVING_STRONG:
@@ -557,7 +569,9 @@ class MoveOperation:
 
     def _transfer_state(self, lock_per_chunk: bool, parent=None):
         silent_lock = self.guarantee is Guarantee.NONE
+        batching = self.controller.batching
         for scope in self.scopes:
+            self._checkpoint()
             getter, putter, deleter = self._scope_calls(scope)
             exported_before = len(self._exported_chunks)
             with self.trace.phase(
@@ -567,6 +581,38 @@ class MoveOperation:
                     yield from self._transfer_scope_peer(
                         scope, getter, deleter, lock_per_chunk, silent_lock
                     )
+                elif self.parallel and batching is not None:
+                    # §8.3 fast path: chunks arrive in multi-chunk frames
+                    # (one inbox slot per frame) and forward to the
+                    # destination as windowed frame puts — the source
+                    # keeps streaming while earlier frames apply.
+                    pipeline = WindowedPutPipeline(
+                        self.sim, putter, batching.pipeline_window,
+                        on_frame_done=(
+                            self._release_frame if self.early_release else None
+                        ),
+                    )
+
+                    def handle_chunk_frame(frame, _scope=scope,
+                                           _pipeline=pipeline):
+                        for chunk in frame:
+                            self._note_chunk(_scope, chunk)
+                        _pipeline.submit(frame)
+
+                    chunks = yield getter(
+                        self.flt,
+                        stream_frame=lambda frame, _h=handle_chunk_frame: (
+                            self.controller.enqueue_chunks(_h, frame)
+                        ),
+                        lock_per_chunk=lock_per_chunk,
+                        lock_silent=silent_lock,
+                        compress=self.compress,
+                    )
+                    if deleter is not None and chunks:
+                        yield deleter([c.flowid for c in chunks if c.flowid])
+                    yield self.controller.inbox_drained()
+                    yield pipeline.drained()
+                    self._checkpoint()
                 elif self.parallel:
                     put_events: List[Any] = []
 
@@ -596,6 +642,7 @@ class MoveOperation:
                     yield self.controller.inbox_drained()
                     if put_events:
                         yield AllOf(put_events)
+                    self._checkpoint()
                 else:
                     chunks = yield getter(self.flt, compress=self.compress)
                     for chunk in chunks:
@@ -699,9 +746,11 @@ class MoveOperation:
             )
 
         def get_allflows(flt, stream=None, lock_per_chunk=False,
-                         lock_silent=False, compress=False, raw_stream=None):
+                         lock_silent=False, compress=False, raw_stream=None,
+                         stream_frame=None):
             return self.src.get_allflows(
-                stream=stream, compress=compress, raw_stream=raw_stream
+                stream=stream, compress=compress, raw_stream=raw_stream,
+                stream_frame=stream_frame,
             )
 
         return (get_allflows, self.dst.put_allflows, None)
@@ -752,6 +801,11 @@ class MoveOperation:
         if mark:
             packet.mark(DO_NOT_BUFFER)
         self.controller.switch_client.packet_out(packet, self.dst_port)
+
+    def _release_frame(self, frame: List[StateChunk]) -> None:
+        """Early release for a whole applied frame (batched transfer)."""
+        for chunk in frame:
+            self._release_flow(chunk.flowid)
 
     def _release_flow(self, flowid: Optional[FlowId]) -> None:
         """Early release: flush and unblock the flows a chunk covers.

@@ -10,7 +10,7 @@ latency, Fig. 10(b)), and bytes of state transferred (Table 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 
 @dataclass
@@ -18,7 +18,10 @@ class OperationReport:
     """Outcome and accounting of one northbound operation."""
 
     kind: str = ""
-    guarantee: str = ""
+    #: The parsed :class:`~repro.controller.move.Guarantee` enum member
+    #: for moves; other operation kinds may store a plain string (e.g. a
+    #: share's consistency level) or leave it empty.
+    guarantee: Any = ""
     filter_repr: str = ""
     src: str = ""
     dst: str = ""
@@ -60,6 +63,11 @@ class OperationReport:
         return self.finished_at - self.started_at
 
     @property
+    def guarantee_label(self) -> str:
+        """The guarantee as its wire string (enum members unwrap)."""
+        return getattr(self.guarantee, "value", self.guarantee)
+
+    @property
     def total_chunks(self) -> int:
         return sum(self.chunks_moved.values())
 
@@ -91,7 +99,7 @@ class OperationReport:
         """JSON-friendly dump (for bench output files or journals)."""
         return {
             "kind": self.kind,
-            "guarantee": self.guarantee,
+            "guarantee": self.guarantee_label,
             "filter": self.filter_repr,
             "src": self.src,
             "dst": self.dst,
@@ -118,7 +126,7 @@ class OperationReport:
             "%d dropped, %d evented, %d buffered"
             % (
                 self.kind,
-                self.guarantee or "-",
+                self.guarantee_label or "-",
                 self.src,
                 self.dst,
                 self.duration_ms,

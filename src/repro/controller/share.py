@@ -36,12 +36,20 @@ from repro.nf.base import NFCrash
 from repro.nf.events import DO_NOT_DROP, EventAction, PacketEvent
 from repro.nf.southbound import SouthboundError
 from repro.nf.state import Scope
+from repro.controller.operation import Operation
 from repro.controller.reports import OperationReport
 from repro.sim.process import AllOf, AnyOf
 
 
-class ShareOperation:
-    """A long-running state-sharing session across ≥2 NF instances."""
+class ShareOperation(Operation):
+    """A long-running state-sharing session across ≥2 NF instances.
+
+    As an :class:`~repro.controller.operation.Operation`, its ``done``
+    event is an alias of ``stopped`` — a share is complete when torn
+    down — and ``abort()`` is :meth:`stop`.
+    """
+
+    kind = "share"
 
     def __init__(
         self,
@@ -82,6 +90,11 @@ class ShareOperation:
         self.update_timeout_ms = 250.0
         self.started = self.sim.event("share-started")
         self.stopped = self.sim.event("share-stopped")
+        #: Operation-handle surface: a share is "done" once stopped, and
+        #: its guarantee slot carries the consistency level.
+        self.done = self.stopped
+        self.guarantee = consistency
+        self._abort_requested = None
         self.obs = controller.obs
         self.trace = self.obs.operation(
             self.sim,
@@ -132,7 +145,7 @@ class ShareOperation:
             yield AllOf(acks)
             # Redirect every relevant forwarding entry to the controller.
             entries = yield self.controller.switch_client.read_entries(self.flt)
-            installs = []
+            redirects = []
             for entry_filter, priority, actions in entries:
                 targets = {
                     self.controller.instance_at_port(a) for a in actions
@@ -140,13 +153,17 @@ class ShareOperation:
                 if not targets & {c.name for c in self.instances}:
                     continue
                 self._redirected_entries.append((entry_filter, priority, actions))
-                installs.append(
-                    self.controller.switch_client.install(
-                        entry_filter, ["controller"], priority
-                    )
-                )
-            if installs:
-                yield AllOf(installs)
+                redirects.append((entry_filter, ["controller"], priority))
+            if redirects:
+                if self.controller.batching is not None:
+                    # One batched flow-mod instead of len(redirects)
+                    # control messages (§8.3).
+                    yield self.controller.switch_client.install_batch(redirects)
+                else:
+                    yield AllOf([
+                        self.controller.switch_client.install(flt, acts, prio)
+                        for flt, acts, prio in redirects
+                    ])
             self._interest_handles.append(
                 self.controller.add_packet_interest(self.flt, self._on_packet_in)
             )
@@ -180,6 +197,11 @@ class ShareOperation:
     def _put(self, client, chunks):
         if not chunks:
             return self.sim.timeout(0.0)
+        for chunk in chunks:
+            # Replicas hold stale copies of this exact state: the push
+            # is an authoritative snapshot, not a disjoint observation
+            # set, so receivers must replace rather than merge.
+            chunk.snapshot = True
         scope = chunks[0].scope
         if scope is Scope.PERFLOW:
             return client.put_perflow(chunks)
@@ -327,6 +349,13 @@ class ShareOperation:
         self.sim.spawn(self._teardown(), name="share-stop")
         return self.stopped
 
+    def abort(self, reason: str = "aborted by caller"):
+        """Operation-protocol abort: tear the session down."""
+        if not self.stopped.triggered and self._abort_requested is None:
+            self._abort_requested = reason
+            self.report.aborted = "aborted: %s" % reason
+        return self.stop()
+
     def _teardown(self):
         for handle in self._interest_handles:
             self.controller.remove_interest(handle)
@@ -340,15 +369,21 @@ class ShareOperation:
                 yield AllOf(acks)
         except (NFCrash, SouthboundError) as exc:
             self.report.notes.append("teardown incomplete: %s" % exc)
-        restores = []
-        for entry_filter, priority, actions in self._redirected_entries:
-            restores.append(
-                self.controller.switch_client.install(
-                    entry_filter, list(actions), priority
-                )
-            )
-        if restores:
-            yield AllOf(restores)
+        if self._redirected_entries:
+            if self.controller.batching is not None:
+                yield self.controller.switch_client.install_batch([
+                    (entry_filter, list(actions), priority)
+                    for entry_filter, priority, actions
+                    in self._redirected_entries
+                ])
+            else:
+                yield AllOf([
+                    self.controller.switch_client.install(
+                        entry_filter, list(actions), priority
+                    )
+                    for entry_filter, priority, actions
+                    in self._redirected_entries
+                ])
         self.report.finished_at = self.sim.now
         self.trace.finish(aborted=self.report.aborted)
         self.stopped.trigger(self.report)

@@ -41,6 +41,7 @@ class Deployment:
         obs: Optional[Observability] = None,
         faults=None,
         retry=None,
+        batching=None,
     ) -> None:
         self.sim = sim or Simulator()
         #: One shared observability bundle; disabled unless ``observe=True``
@@ -56,6 +57,16 @@ class Deployment:
 
             faults = FaultPlan.from_spec(faults)
         self.faults = faults
+        #: Optional :class:`repro.net.channel.BatchConfig`. ``True`` means
+        #: "defaults"; ``None``/``False`` keeps the unbatched transport
+        #: byte-for-byte identical to the classic path.
+        if batching is True:
+            from repro.net.channel import BatchConfig
+
+            batching = BatchConfig()
+        elif batching is False:
+            batching = None
+        self.batching = batching
         self.switch = Switch(
             self.sim,
             name="sw",
@@ -73,6 +84,7 @@ class Deployment:
             obs=self.obs,
             faults=self.faults,
             retry=retry,
+            batching=self.batching,
         )
         self.nf_link_latency_ms = nf_link_latency_ms
         self.nfs: Dict[str, NetworkFunction] = {}

@@ -58,6 +58,7 @@ def run_move_experiment(
     scope: str = "per",
     observe: bool = False,
     fault_plan: Any = None,
+    batching: Any = None,
 ) -> MoveExperimentResult:
     """Replay a trace to instance 1, move flows to instance 2 mid-trace.
 
@@ -67,12 +68,16 @@ def run_move_experiment(
     ``observe=True`` enables tracing/metrics; the collected spans are at
     ``result.deployment.obs.exporter.spans``. ``fault_plan`` (a
     :class:`repro.faults.FaultPlan` or spec string) injects control-plane
-    faults and switches the deployment into reliable mode.
+    faults and switches the deployment into reliable mode. ``batching``
+    (a :class:`repro.net.channel.BatchConfig` or ``True`` for defaults)
+    turns on the batched control-plane transport.
     """
     kwargs = dict(deployment_kwargs or {})
     kwargs.setdefault("observe", observe)
     if fault_plan is not None:
         kwargs.setdefault("faults", fault_plan)
+    if batching is not None:
+        kwargs.setdefault("batching", batching)
     dep = Deployment(**kwargs)
     src = nf_factory(dep.sim, "inst1")
     dst = nf_factory(dep.sim, "inst2")

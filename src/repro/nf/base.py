@@ -269,10 +269,18 @@ class NetworkFunction:
             self._unacked_events[event.seq] = event
             self._send_event_attempt(event, 1)
         else:
-            self.event_channel.send(event.size_bytes, self.event_sink, event)
+            # queue_send: bursts of events (e.g. a buffered-flush storm
+            # during a move) coalesce into one control frame instead of
+            # one message each (§8.3). Falls back to a plain send when
+            # batching is off.
+            self.event_channel.queue_send(
+                event.size_bytes, self.event_sink, event
+            )
 
     def _send_event_attempt(self, event: PacketEvent, attempt: int) -> None:
-        self.event_channel.send(event.size_bytes, self.event_sink, event)
+        self.event_channel.queue_send(
+            event.size_bytes, self.event_sink, event
+        )
         self.sim.schedule(
             self.event_retransmit_ms * attempt,
             self._check_event_ack, event.seq, attempt,

@@ -16,6 +16,7 @@ Message kinds::
     {"op": "disableEvents", "filter": {...}}
     {"op": "response", "call": "...", "status": "ok" | "error", ...}
     {"op": "event", "nf": "...", "action": "...", "packet": {...}}
+    {"op": "batch", "fid": N, "msgs": [...]}      (§8.3 batching fast path)
 """
 
 from __future__ import annotations
@@ -29,6 +30,25 @@ from repro.flowspace.filter import Filter, FlowId
 #: amortized), matching the prototype's ≈128-byte control messages for
 #: simple calls.
 FRAME_OVERHEAD_BYTES = 64
+
+#: Per-entry prefix inside a batch frame (length + kind tag). Batched
+#: messages shed their own FRAME_OVERHEAD_BYTES — one frame pays the
+#: framing once — which is precisely the §8.3 amortization.
+BATCH_ENTRY_OVERHEAD_BYTES = 4
+
+
+def batch_frame_size(sizes: Iterable[int]) -> int:
+    """Wire size of a batch frame carrying messages of ``sizes``.
+
+    Each entry contributes its payload (its standalone size minus the
+    per-message framing it no longer pays) plus a small length prefix;
+    the frame as a whole pays ``FRAME_OVERHEAD_BYTES`` once.
+    """
+    payload = sum(
+        max(size - FRAME_OVERHEAD_BYTES, 0) + BATCH_ENTRY_OVERHEAD_BYTES
+        for size in sizes
+    )
+    return FRAME_OVERHEAD_BYTES + payload
 
 
 def encode(message: Dict[str, Any]) -> bytes:

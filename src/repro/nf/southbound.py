@@ -18,7 +18,11 @@ operation (including NF-side processing time) completes.
 chunk to the controller the moment it is serialized instead of batching
 the full result — the parallelizing optimization of §5.1.3.
 ``lock_per_chunk`` enables late locking for the early-release
-optimization.
+optimization. ``stream_frame`` is the §8.3 batching variant: chunks
+still leave the NF as they serialize, but they coalesce into multi-chunk
+frames on the wire (via the channel's :class:`~repro.net.channel.
+BatchConfig`) and the callback receives each frame's chunk list in one
+call — one controller handling cost per frame instead of per chunk.
 
 Reliable mode (``reliable=True``, switched on whenever a
 :class:`~repro.faults.FaultPlan` is installed): every RPC carries a
@@ -46,7 +50,7 @@ import itertools
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.flowspace.filter import Filter, FlowId
-from repro.net.channel import ControlChannel
+from repro.net.channel import BatchConfig, ControlChannel
 from repro.nf.base import NetworkFunction
 from repro.nf.events import EventAction
 from repro.nf import protocol
@@ -116,6 +120,7 @@ class NFClient:
         obs=None,
         reliable: bool = False,
         retry: Optional[RetryPolicy] = None,
+        batch: Optional[BatchConfig] = None,
     ) -> None:
         self.sim = sim
         self.nf = nf
@@ -126,6 +131,13 @@ class NFClient:
         self.from_nf = from_nf or ControlChannel(
             sim, name="%s->ctrl" % nf.name, obs=self.obs
         )
+        #: Optional batching config; installs on both channels so chunk
+        #: streams and acks coalesce into frames (§8.3 fast path).
+        self.batch = batch if (batch is None or batch.enabled) else None
+        if self.batch is not None:
+            for channel in (self.to_nf, self.from_nf):
+                if channel.batching is None:
+                    channel.batching = self.batch
         self.reliable = reliable
         self.retry = retry or RetryPolicy()
         self._request_ids = itertools.count(1)
@@ -277,34 +289,66 @@ class NFClient:
         lock_silent: bool = False,
         compress: bool = False,
         raw_stream: Optional[Callable[[StateChunk], None]] = None,
+        stream_frame: Optional[Callable[[List[StateChunk]], None]] = None,
     ) -> Event:
         """``raw_stream`` receives chunks NF-side, with no channel hop:
         the caller ships them itself (peer-to-peer transfer, paper
-        footnote 10). Mutually exclusive with ``stream``."""
+        footnote 10). ``stream_frame`` receives controller-side chunk
+        *lists*, one per coalesced wire frame (§8.3 batching); without
+        an active batching config it degrades to one-chunk frames.
+        ``stream``/``raw_stream``/``stream_frame`` are mutually
+        exclusive."""
         done = self.sim.event("get-%s@%s" % (scope.value, self.nf.name))
         rid = self._next_request_id()
+        streamed = stream is not None or stream_frame is not None
         #: Streamed chunks that actually landed controller-side; lost or
         #: duplicated chunk messages are reconciled against this.
         received_ids: set = set()
+
+        def deliver_fresh(chunks: List[StateChunk]) -> None:
+            if stream_frame is not None:
+                stream_frame(chunks)
+            else:
+                for chunk in chunks:
+                    stream(chunk)
 
         def stream_recv(chunk: StateChunk) -> None:
             if id(chunk) in received_ids:
                 return  # duplicated or already-recovered chunk
             received_ids.add(id(chunk))
-            stream(chunk)
+            deliver_fresh([chunk])
+
+        def frame_recv(chunks: List[StateChunk]) -> None:
+            # One coalesced frame of chunks. A replayed frame has
+            # already been deduplicated whole at the channel layer; this
+            # per-chunk filter additionally drops chunks recovered via a
+            # NACK round that raced a late original.
+            fresh = [c for c in chunks if id(c) not in received_ids]
+            for chunk in fresh:
+                received_ids.add(id(chunk))
+            if fresh:
+                deliver_fresh(fresh)
 
         def stream_back(chunk: StateChunk) -> None:
-            if stream is not None:
-                self.from_nf.send(
-                    chunk.wire_size_bytes + CHUNK_OVERHEAD_BYTES,
-                    stream_recv, chunk,
+            # NF-side shipping. With frames requested and batching
+            # active, chunks join the channel's pending frame and are
+            # handed to frame_recv a whole frame at a time.
+            size = chunk.wire_size_bytes + CHUNK_OVERHEAD_BYTES
+            if stream_frame is not None and self.from_nf.batching_active:
+                self.from_nf.queue_send(
+                    size, stream_recv, chunk, coalesce=frame_recv
                 )
+            else:
+                self.from_nf.send(size, stream_recv, chunk)
 
         def close_ok(chunks: List[StateChunk]) -> None:
             # Controller-side: the final response names every chunk, so
-            # any streamed chunk the channel ate is detected here and
-            # NACKed back to the NF for retransmission before the call
-            # completes — the caller then sees exactly-once chunks.
+            # any streamed chunk (or whole dropped frame) the channel
+            # ate is detected here and NACKed back to the NF for
+            # retransmission before the call completes — the caller
+            # then sees exactly-once chunks. Recovery re-ships through
+            # stream_back, so retransmissions re-frame at the same
+            # granularity as the original stream.
             if done.triggered:
                 return
             missing = [c for c in chunks if id(c) not in received_ids]
@@ -319,10 +363,10 @@ class NFClient:
 
             def retransmit() -> None:
                 for chunk in missing:
-                    self.from_nf.send(
-                        chunk.wire_size_bytes + CHUNK_OVERHEAD_BYTES,
-                        stream_recv, chunk,
-                    )
+                    stream_back(chunk)
+                # A plain send flushes the pending recovery frame first
+                # (ordering barrier), so close_ok always trails the
+                # retransmitted chunks.
                 self.from_nf.send(REQUEST_BYTES, close_ok, chunks)
 
             self.to_nf.send(REQUEST_BYTES, retransmit)
@@ -333,10 +377,10 @@ class NFClient:
                                     event.exception, failed=True)
                 return
             chunks: List[StateChunk] = event.value
-            if stream is not None and rid is not None:
+            if streamed and rid is not None:
                 self._send_response(rid, done, REQUEST_BYTES, chunks,
                                     deliver=close_ok)
-            elif stream is not None or raw_stream is not None:
+            elif streamed or raw_stream is not None:
                 # Chunks already streamed; just close the call.
                 self._send_response(rid, done, REQUEST_BYTES, chunks)
             else:
@@ -346,7 +390,7 @@ class NFClient:
         def at_nf() -> None:
             if raw_stream is not None:
                 nf_stream = raw_stream
-            elif stream is not None:
+            elif streamed:
                 nf_stream = stream_back
             else:
                 nf_stream = None
@@ -366,7 +410,7 @@ class NFClient:
             request_id=rid,
             lock_per_chunk=lock_per_chunk,
             compress=compress,
-            stream=stream is not None or raw_stream is not None,
+            stream=streamed or raw_stream is not None,
         )
         self._invoke("get.%s" % scope.value, done,
                      protocol.message_size(request), at_nf, rid)
@@ -374,7 +418,7 @@ class NFClient:
             "get.%s" % scope.value,
             done,
             filter=str(flt),
-            streamed=stream is not None or raw_stream is not None,
+            streamed=streamed or raw_stream is not None,
         )
 
     def get_perflow(
@@ -385,10 +429,11 @@ class NFClient:
         lock_silent: bool = False,
         compress: bool = False,
         raw_stream: Optional[Callable[[StateChunk], None]] = None,
+        stream_frame: Optional[Callable[[List[StateChunk]], None]] = None,
     ) -> Event:
         """``getPerflow(filter)``; triggers with ``List[StateChunk]``."""
         return self._get(Scope.PERFLOW, flt, stream, lock_per_chunk,
-                         lock_silent, compress, raw_stream)
+                         lock_silent, compress, raw_stream, stream_frame)
 
     def get_multiflow(
         self,
@@ -398,20 +443,22 @@ class NFClient:
         lock_silent: bool = False,
         compress: bool = False,
         raw_stream: Optional[Callable[[StateChunk], None]] = None,
+        stream_frame: Optional[Callable[[List[StateChunk]], None]] = None,
     ) -> Event:
         """``getMultiflow(filter)``; triggers with ``List[StateChunk]``."""
         return self._get(Scope.MULTIFLOW, flt, stream, lock_per_chunk,
-                         lock_silent, compress, raw_stream)
+                         lock_silent, compress, raw_stream, stream_frame)
 
     def get_allflows(
         self,
         stream: Optional[Callable[[StateChunk], None]] = None,
         compress: bool = False,
         raw_stream: Optional[Callable[[StateChunk], None]] = None,
+        stream_frame: Optional[Callable[[List[StateChunk]], None]] = None,
     ) -> Event:
         """``getAllflows()``; triggers with ``List[StateChunk]``."""
         return self._get(Scope.ALLFLOWS, Filter.wildcard(), stream, False,
-                         False, compress, raw_stream)
+                         False, compress, raw_stream, stream_frame)
 
     def list_flowids(self, scope: Scope, flt: Filter) -> Event:
         """Enumerate flowids of matching state without exporting it.

@@ -67,7 +67,7 @@ class StateChunk:
     """One transferable unit of NF state."""
 
     __slots__ = ("scope", "flowid", "data", "_size", "_compressed_size",
-                 "compressed")
+                 "compressed", "snapshot")
 
     def __init__(
         self,
@@ -83,6 +83,10 @@ class StateChunk:
         self._compressed_size: Optional[int] = None
         #: Whether this chunk travels compressed (§8.3's optimization).
         self.compressed = False
+        #: True when the chunk is an authoritative snapshot of state the
+        #: receiver already holds a (stale) copy of — share replication
+        #: marks its pushes so importers replace instead of merging.
+        self.snapshot = False
 
     @property
     def size_bytes(self) -> int:

@@ -70,6 +70,21 @@ class ConnRecord:
         record.flags_seen = sorted(data.get("flags_seen", []))
         return record
 
+    def merge_from(self, data: Dict[str, Any]) -> None:
+        """Combine an incoming serialized record into this one (§4.2 merge).
+
+        Packet and byte counters add, timestamps take earliest/latest,
+        flags take the union — so the packet total across all instances
+        is conserved through arbitrary move chains.
+        """
+        self.first_seen = merge.earliest(self.first_seen, data["first_seen"])
+        self.last_seen = merge.latest(self.last_seen, data["last_seen"])
+        self.packets = merge.add_counters(self.packets, data["packets"])
+        self.bytes = merge.add_counters(self.bytes, data["bytes"])
+        self.flags_seen = merge.union(
+            self.flags_seen, data.get("flags_seen", [])
+        )
+
 
 class AssetMonitor(NetworkFunction):
     """The PRADS-like NF."""
@@ -150,9 +165,15 @@ class AssetMonitor(NetworkFunction):
 
     def import_chunk(self, chunk: StateChunk) -> None:
         if chunk.scope is Scope.PERFLOW:
-            # Connection records replace wholesale: a moved flow's record
-            # supersedes anything the destination improvised.
-            self.conns[chunk.flowid] = ConnRecord.from_dict(chunk.data)
+            existing = self.conns.get(chunk.flowid)
+            if existing is None or chunk.snapshot:
+                self.conns[chunk.flowid] = ConnRecord.from_dict(chunk.data)
+            else:
+                # The destination may have improvised a record while it
+                # briefly owned the flow (overlapping moves retarget
+                # forwarding before the state catches up); fold the
+                # counts together instead of losing either side's.
+                existing.merge_from(chunk.data)
         elif chunk.scope is Scope.MULTIFLOW:
             existing = self.assets.get(chunk.flowid)
             if existing is None:

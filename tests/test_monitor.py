@@ -115,7 +115,10 @@ class TestStateHandlers:
         assert record.connections == 1
         assert record.services == ["ssh"]
 
-    def test_perflow_import_replaces(self, sim, flow):
+    def test_perflow_import_merges_counters(self, sim, flow):
+        # A moved record folds into whatever the destination improvised
+        # while it briefly owned the flow: packet totals are conserved
+        # across arbitrary move chains.
         a = AssetMonitor(sim, "a")
         b = AssetMonitor(sim, "b")
         run_packets(sim, a, [make_packet(flow), make_packet(flow)])
@@ -124,4 +127,18 @@ class TestStateHandlers:
             Scope.PERFLOW, FlowId.for_flow(flow.canonical())
         )
         b.import_chunk(chunk)
-        assert b.conn_for(flow).packets == 2  # replaced, not 3
+        assert b.conn_for(flow).packets == 3  # merged, not clobbered
+
+    def test_perflow_snapshot_import_replaces(self, sim, flow):
+        # Share replication pushes authoritative snapshots: the replica's
+        # stale copy of the *same* state must be replaced, not added to.
+        a = AssetMonitor(sim, "a")
+        b = AssetMonitor(sim, "b")
+        run_packets(sim, a, [make_packet(flow), make_packet(flow)])
+        run_packets(sim, b, [make_packet(flow)])
+        chunk = a.export_chunk(
+            Scope.PERFLOW, FlowId.for_flow(flow.canonical())
+        )
+        chunk.snapshot = True
+        b.import_chunk(chunk)
+        assert b.conn_for(flow).packets == 2  # replaced
