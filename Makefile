@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-obs test-faults bench bench-smoke examples validate clean results
+.PHONY: install test test-obs test-faults bench bench-smoke bench-scale examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test: bench-smoke
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_smoke.py
+
+bench-scale:
+	$(PYTHON) benchmarks/bench_scale_dataplane.py
 
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs

@@ -12,14 +12,17 @@ queries the switch and controller need.
 """
 
 from repro.flowspace.fivetuple import FiveTuple
-from repro.flowspace.filter import Filter, FlowId
+from repro.flowspace.filter import Filter, FlowId, packet_match_keys
+from repro.flowspace.index import FlowKeyedStore
 from repro.flowspace.ip import ip_in_prefix, ip_to_int, parse_prefix
 
 __all__ = [
     "FiveTuple",
     "Filter",
     "FlowId",
+    "FlowKeyedStore",
     "ip_in_prefix",
     "ip_to_int",
+    "packet_match_keys",
     "parse_prefix",
 ]

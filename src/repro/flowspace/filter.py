@@ -19,10 +19,56 @@ from __future__ import annotations
 
 from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
 
-from repro.flowspace.ip import ip_in_prefix, prefix_covers, prefixes_overlap
+from repro.flowspace.ip import (
+    ip_in_prefix,
+    ip_to_int,
+    parse_prefix,
+    prefix_covers,
+    prefixes_overlap,
+)
 
 _IP_FIELDS = ("nw_src", "nw_dst")
 _SWAP = {"nw_src": "nw_dst", "nw_dst": "nw_src", "tp_src": "tp_dst", "tp_dst": "tp_src"}
+
+#: Exactly these fields must be constrained for a filter to be exact-match.
+_EXACT_FIELDS = frozenset(("nw_src", "nw_dst", "nw_proto", "tp_src", "tp_dst"))
+
+_FULL_MASK = 0xFFFFFFFF
+
+#: Sentinel distinct from None, which is a valid (cached) exact_key result.
+_UNSET = object()
+
+
+def packet_match_keys(headers: Mapping[str, Any]):
+    """The two exact-match keys a packet's headers can hit.
+
+    Returns ``(oriented_key, symmetric_key)``: the key an oriented
+    exact-match filter for this packet would carry, and the
+    direction-normalized key a symmetric one would. Either hash index
+    bucket holds *only* filters that match this packet. Returns
+    ``(None, None)`` when the headers are not a fully-specified 5-tuple
+    (such a packet cannot match any exact filter).
+    """
+    proto = headers.get("nw_proto")
+    tp_src = headers.get("tp_src")
+    tp_dst = headers.get("tp_dst")
+    if (
+        not isinstance(proto, int)
+        or not isinstance(tp_src, int)
+        or not isinstance(tp_dst, int)
+    ):
+        return (None, None)
+    try:
+        src = ip_to_int(headers["nw_src"])
+        dst = ip_to_int(headers["nw_dst"])
+    except (AttributeError, KeyError, TypeError, ValueError):
+        return (None, None)
+    left = (src, tp_src)
+    right = (dst, tp_dst)
+    oriented = ("o", proto, left, right)
+    if right < left:
+        left, right = right, left
+    return (oriented, ("s", proto, left, right))
 
 
 def _flags_as_set(value: Any) -> FrozenSet[str]:
@@ -49,7 +95,7 @@ def _swap_headers(headers: Mapping[str, Any]) -> Dict[str, Any]:
 class Filter:
     """An immutable header predicate with wildcard semantics."""
 
-    __slots__ = ("fields", "symmetric", "_hash")
+    __slots__ = ("fields", "symmetric", "_hash", "_exact_key")
 
     def __init__(
         self, fields: Optional[Mapping[str, Any]] = None, symmetric: bool = False
@@ -57,6 +103,7 @@ class Filter:
         self.fields: Dict[str, Any] = dict(fields or {})
         self.symmetric = symmetric
         self._hash: Optional[int] = None
+        self._exact_key: Any = _UNSET
 
     # -- construction helpers -------------------------------------------------
 
@@ -95,6 +142,62 @@ class Filter:
             if not _field_matches(field, constraint, headers.get(field)):
                 return False
         return True
+
+    # -- exact-match fast path ------------------------------------------------
+
+    def exact_key(self) -> Optional[Tuple]:
+        """Canonical hashable key for a fully-specified exact-match filter.
+
+        A filter is *exact* when it constrains precisely the transport
+        5-tuple — ``nw_src``/``nw_dst`` as single addresses (bare or
+        ``/32``), integer ``nw_proto``/``tp_src``/``tp_dst`` — with no
+        extra fields. For such filters the key is
+        ``(orientation_tag, proto, endpoint, endpoint)`` with IPs
+        normalized to integers; symmetric filters get their endpoints
+        direction-normalized (smaller ``(ip, port)`` first) so both
+        orientations of a flow produce the same key, while oriented
+        filters keep their direction and a distinct tag. Returns ``None``
+        for wildcard/partial/prefix filters, which must stay on the
+        linear match path. The key is cached (filters are immutable).
+
+        The defining property, relied on by every hash index built on
+        this: two exact filters match the same fully-specified packet
+        if and only if :func:`packet_match_keys` of that packet yields
+        their key.
+        """
+        key = self._exact_key
+        if key is _UNSET:
+            key = self._compute_exact_key()
+            self._exact_key = key
+        return key
+
+    def _compute_exact_key(self) -> Optional[Tuple]:
+        fields = self.fields
+        if len(fields) != 5 or frozenset(fields) != _EXACT_FIELDS:
+            return None
+        proto = fields["nw_proto"]
+        tp_src = fields["tp_src"]
+        tp_dst = fields["tp_dst"]
+        if (
+            not isinstance(proto, int)
+            or not isinstance(tp_src, int)
+            or not isinstance(tp_dst, int)
+        ):
+            return None
+        try:
+            src_net, src_mask = parse_prefix(fields["nw_src"])
+            dst_net, dst_mask = parse_prefix(fields["nw_dst"])
+        except (AttributeError, TypeError, ValueError):
+            return None
+        if src_mask != _FULL_MASK or dst_mask != _FULL_MASK:
+            return None
+        left = (src_net, tp_src)
+        right = (dst_net, tp_dst)
+        if not self.symmetric:
+            return ("o", proto, left, right)
+        if right < left:
+            left, right = right, left
+        return ("s", proto, left, right)
 
     # -- state (flowid) matching ----------------------------------------------
 

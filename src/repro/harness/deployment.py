@@ -42,6 +42,7 @@ class Deployment:
         faults=None,
         retry=None,
         batching=None,
+        record_ground_truth: bool = True,
     ) -> None:
         self.sim = sim or Simulator()
         #: One shared observability bundle; disabled unless ``observe=True``
@@ -67,12 +68,17 @@ class Deployment:
         elif batching is False:
             batching = None
         self.batching = batching
+        #: Ground-truth logging (forward_log / processing_log / durations).
+        #: Cheap bookkeeping, on by default; benchmarks turn it off so log
+        #: appends do not pollute wall-clock measurements.
+        self.record_ground_truth = record_ground_truth
         self.switch = Switch(
             self.sim,
             name="sw",
             flowmod_delay_ms=flowmod_delay_ms,
             packet_out_rate_pps=packet_out_rate_pps,
             obs=self.obs,
+            record_ground_truth=record_ground_truth,
         )
         self.controller = OpenNFController(
             self.sim,
@@ -100,6 +106,7 @@ class Deployment:
             self.sim, name="sw->%s" % nf.name, latency_ms=latency
         )
         nf.obs = self.obs
+        nf.record_ground_truth = self.record_ground_truth
         self.switch.attach(nf.name, nf.receive, link)
         self.nfs[nf.name] = nf
         return self.controller.register_nf(nf, port=nf.name)

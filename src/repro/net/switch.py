@@ -67,6 +67,7 @@ class Switch:
         control_channel: Optional[ControlChannel] = None,
         table_capacity: Optional[int] = None,
         obs=None,
+        record_ground_truth: bool = True,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -89,6 +90,10 @@ class Switch:
         self.forwarded = 0
         self.table_misses = 0
         self.packet_outs = 0
+        #: When False, ``forward_log`` stays empty — long-running scale
+        #: benchmarks opt out so memory stays bounded; the properties the
+        #: log backs are simply unavailable then.
+        self.record_ground_truth = record_ground_truth
         #: Ordered log of (time, packet_uid, actions) — the ground truth the
         #: order-preservation property is checked against.
         self.forward_log: List[Tuple[float, int, Tuple[str, ...]]] = []
@@ -121,7 +126,8 @@ class Switch:
                 self.obs.metrics.counter("sw.table_misses").inc(1, sw=self.name)
             return
         entry.count(packet)
-        self.forward_log.append((self.sim.now, packet.uid, entry.actions))
+        if self.record_ground_truth:
+            self.forward_log.append((self.sim.now, packet.uid, entry.actions))
         if self.obs.enabled:
             metrics = self.obs.metrics
             for action in entry.actions:
@@ -238,7 +244,8 @@ class Switch:
             self.obs.metrics.counter("sw.packet_outs").inc(
                 1, sw=self.name, port=port_name
             )
-        self.forward_log.append((self.sim.now, packet.uid, (port_name,)))
+        if self.record_ground_truth:
+            self.forward_log.append((self.sim.now, packet.uid, (port_name,)))
         self._output(packet, port_name)
         self.sim.schedule(self.packet_out_interval_ms, self._drain_packet_out)
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
-from repro.flowspace.filter import Filter, FlowId
+from repro.flowspace.filter import Filter, FlowId, packet_match_keys
 from repro.nf.costs import NFCostModel
 from repro.nf.events import EventAction, EventRule, PacketEvent
 from repro.nf.state import Scope, StateChunk
@@ -50,6 +50,22 @@ class NetworkFunction:
     #: Subclasses narrow this per scope via :meth:`relevant_fields`.
     DEFAULT_RELEVANT_FIELDS = ("nw_src", "nw_dst", "nw_proto", "tp_src", "tp_dst")
 
+    #: Per-packet event-rule resolution strategy: True probes the
+    #: exact-key hash buckets, False runs the original reversed linear
+    #: scan (the differential-test oracle). Both structures are always
+    #: maintained, so this can be flipped at any time.
+    use_indexed_rules = True
+
+    #: Passed through to :meth:`FlowKeyedStore.keys_matching` by NFs that
+    #: keep their state in indexed stores; False forces the linear
+    #: reference scan.
+    use_indexed_state = True
+
+    #: When False, the per-packet ground-truth logs (``processing_log``,
+    #: ``proc_durations``) are not recorded — scale benchmarks opt out so
+    #: long runs do not grow memory without bound.
+    record_ground_truth = True
+
     def __init__(self, sim: Simulator, name: str, costs: NFCostModel) -> None:
         self.sim = sim
         self.name = name
@@ -62,8 +78,14 @@ class NetworkFunction:
         # Input path.
         self._queue: Deque[Packet] = deque()
         self._busy = False
-        # Event machinery.
-        self._event_rules: List[EventRule] = []
+        # Event machinery. Rules live in an insertion-ordered seq -> rule
+        # map (O(1) removal); exact-match rules are additionally hash-
+        # indexed by their filter's canonical key, mirroring the flow
+        # table's fast path.
+        self._event_rules: Dict[int, EventRule] = {}
+        self._rules_exact: Dict[Any, List[EventRule]] = {}
+        self._rules_wild: List[EventRule] = []
+        self._rule_seq = 0
         self._rule_buffers: Dict[int, List[Packet]] = {}
         self.event_sink: Optional[Callable[[PacketEvent], None]] = None
         self.event_channel = None  # ControlChannel towards the controller
@@ -228,8 +250,9 @@ class NetworkFunction:
             self._busy = False
             return
         self.packets_processed += 1
-        self.processing_log.append((self.sim.now, packet.uid))
-        self.proc_durations.append((self.sim.now, duration))
+        if self.record_ground_truth:
+            self.processing_log.append((self.sim.now, packet.uid))
+            self.proc_durations.append((self.sim.now, duration))
         if self.obs.enabled:
             self.obs.metrics.counter("nf.packets.processed").inc(
                 1, nf=self.name
@@ -242,10 +265,46 @@ class NetworkFunction:
     # ----------------------------------------------------------- event machinery
 
     def _match_rule(self, packet: Packet) -> Optional[EventRule]:
-        for rule in reversed(self._event_rules):
-            if rule.filter.matches_packet(packet):
+        """The most recently enabled rule matching ``packet``, or None."""
+        if not self.use_indexed_rules:
+            for rule in reversed(self._event_rules.values()):
+                if rule.filter.matches_packet(packet):
+                    return rule
+            return None
+        headers = packet.headers()
+        best: Optional[EventRule] = None
+        for key in packet_match_keys(headers):
+            if key is None:
+                continue
+            bucket = self._rules_exact.get(key)
+            if bucket:
+                rule = bucket[-1]  # buckets keep registration order
+                if best is None or rule.seq > best.seq:
+                    best = rule
+        for rule in reversed(self._rules_wild):
+            if best is not None and rule.seq < best.seq:
+                break  # every remaining wildcard rule is older than best
+            if rule.filter.matches_headers(headers):
                 return rule
-        return None
+        return best
+
+    def _rule_candidates(self, flt: Filter) -> List[EventRule]:
+        """Rules whose filter could equal ``flt`` (exact-key bucket or
+        the wildcard list — equal filters always share a bucket)."""
+        key = flt.exact_key()
+        if key is None:
+            return self._rules_wild
+        return self._rules_exact.get(key, [])
+
+    def _unindex_rule(self, rule: EventRule) -> None:
+        key = rule.filter.exact_key()
+        if key is None:
+            self._rules_wild.remove(rule)
+            return
+        bucket = self._rules_exact[key]
+        bucket.remove(rule)
+        if not bucket:
+            del self._rules_exact[key]
 
     def _raise_event(self, packet: Packet, action: EventAction) -> None:
         self.events_raised += 1
@@ -313,12 +372,22 @@ class NetworkFunction:
         self, flt: Filter, action: EventAction, silent: bool = False
     ) -> None:
         """``enableEvents(filter, action)``: add or update an event rule."""
-        for rule in self._event_rules:
+        for rule in self._rule_candidates(flt):
             if rule.filter == flt:
+                # Updated in place: the rule keeps its registration order,
+                # exactly as the list-based implementation did.
                 rule.action = action
                 rule.silent = silent
                 return
-        self._event_rules.append(EventRule(flt, action, silent=silent))
+        self._rule_seq += 1
+        rule = EventRule(flt, action, silent=silent)
+        rule.seq = self._rule_seq
+        self._event_rules[rule.seq] = rule
+        key = flt.exact_key()
+        if key is None:
+            self._rules_wild.append(rule)
+        else:
+            self._rules_exact.setdefault(key, []).append(rule)
 
     def sb_disable_events(self, flt: Filter) -> None:
         """``disableEvents(filter)``: drop the rule and release its buffer.
@@ -327,14 +396,12 @@ class NetworkFunction:
         the order they were buffered ("any buffered packets are released
         to the NF for processing when events are disabled").
         """
-        kept: List[EventRule] = []
+        doomed = [r for r in self._rule_candidates(flt) if r.filter == flt]
         released: List[Packet] = []
-        for rule in self._event_rules:
-            if rule.filter == flt:
-                released.extend(self._rule_buffers.pop(id(rule), []))
-            else:
-                kept.append(rule)
-        self._event_rules = kept
+        for rule in doomed:
+            released.extend(self._rule_buffers.pop(id(rule), []))
+            del self._event_rules[rule.seq]
+            self._unindex_rule(rule)
         if released and self.obs.enabled:
             self.obs.metrics.counter("nf.packets.released").inc(
                 len(released), nf=self.name
@@ -348,9 +415,11 @@ class NetworkFunction:
         """Disable every rule whose filter is subsumed by ``flt``.
 
         Convenience for cleaning up the per-flow rules late locking
-        creates (§5.1.3) with a single control message.
+        creates (§5.1.3) with a single control message. One pass over the
+        rule set with O(1) removals — the per-rule ``sb_disable_events``
+        used to make this quadratic in the number of per-flow rules.
         """
-        for rule in list(self._event_rules):
+        for rule in list(self._event_rules.values()):
             if flt.covers(rule.filter) or rule.filter == flt:
                 self.sb_disable_events(rule.filter)
 

@@ -51,12 +51,16 @@ class EventRule:
     the no-guarantee move and the baselines.
     """
 
-    __slots__ = ("filter", "action", "silent")
+    __slots__ = ("filter", "action", "silent", "seq")
 
     def __init__(self, flt: Filter, action: EventAction, silent: bool = False) -> None:
         self.filter = flt
         self.action = action
         self.silent = silent
+        #: Registration order within the owning NF: among rules matching a
+        #: packet, the highest ``seq`` (most recently enabled) wins — the
+        #: indexed and linear match paths both resolve ties through it.
+        self.seq = 0
 
     def effective_action(self, packet: Packet) -> EventAction:
         """The rule's action after applying packet-mark overrides."""

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.flowspace.filter import Filter, FlowId
 from repro.flowspace.fivetuple import FiveTuple
+from repro.flowspace.index import FlowKeyedStore
 from repro.nf.base import NetworkFunction
 from repro.nf.costs import DUMMY_COSTS, NFCostModel
 from repro.nf.state import Scope, StateChunk
@@ -32,7 +33,7 @@ class DummyNF(NetworkFunction):
         self, sim: Simulator, name: str, costs: Optional[NFCostModel] = None
     ) -> None:
         super().__init__(sim, name, costs or DUMMY_COSTS)
-        self.flows: Dict[FlowId, Dict[str, Any]] = {}
+        self.flows: FlowKeyedStore = FlowKeyedStore()
 
     def preload(self, n_flows: int, base_ip: str = "172.16.0.0") -> List[FiveTuple]:
         """Create ``n_flows`` synthetic per-flow chunks; returns their tuples."""
@@ -65,8 +66,9 @@ class DummyNF(NetworkFunction):
     def state_keys(self, scope: Scope, flt: Filter) -> List[Any]:
         if scope is not Scope.PERFLOW:
             return []
-        relevant = self.relevant_fields(scope)
-        return [fid for fid in self.flows if flt.matches_flowid(fid, relevant)]
+        return self.flows.keys_matching(
+            flt, self.relevant_fields(scope), indexed=self.use_indexed_state
+        )
 
     def export_chunk(self, scope: Scope, key: Any) -> Optional[StateChunk]:
         record = self.flows.get(key)

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.flowspace.filter import Filter, FlowId
+from repro.flowspace.index import FlowKeyedStore
 from repro.nf.base import NetworkFunction
 from repro.nf.costs import BRO_COSTS, NFCostModel
 from repro.nf.state import Scope, StateChunk
@@ -78,10 +79,10 @@ class IntrusionDetector(NetworkFunction):
         self.scan_threshold = scan_threshold
         #: Figure 7: only the cloud instances run the malware analysis.
         self.detect_malware = detect_malware
-        self.conns: Dict[FlowId, Connection] = {}
-        self.scans: Dict[FlowId, ScanRecord] = {}
+        self.conns: FlowKeyedStore = FlowKeyedStore()
+        self.scans: FlowKeyedStore = FlowKeyedStore()
         #: Multi-flow FTP expectations, keyed by host pair.
-        self.ftp_expectations: Dict[FlowId, FtpExpectation] = {}
+        self.ftp_expectations: FlowKeyedStore = FlowKeyedStore()
         self.stats: Dict[str, int] = {"packets": 0, "bytes": 0, "flows": 0}
         self.alerts: List[Alert] = []
         self.conn_log: List[Dict[str, Any]] = []
@@ -217,13 +218,13 @@ class IntrusionDetector(NetworkFunction):
         if scope is Scope.ALLFLOWS:
             return ["stats"]
         relevant = self.relevant_fields(scope)
+        indexed = self.use_indexed_state
         if scope is Scope.PERFLOW:
-            return [fid for fid in self.conns
-                    if flt.matches_flowid(fid, relevant)]
-        keys = [fid for fid in self.scans
-                if flt.matches_flowid(fid, relevant)]
-        keys.extend(fid for fid in self.ftp_expectations
-                    if flt.matches_flowid(fid, relevant))
+            return self.conns.keys_matching(flt, relevant, indexed=indexed)
+        keys = self.scans.keys_matching(flt, relevant, indexed=indexed)
+        keys.extend(
+            self.ftp_expectations.keys_matching(flt, relevant, indexed=indexed)
+        )
         return keys
 
     def export_chunk(self, scope: Scope, key: Any) -> Optional[StateChunk]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.flowspace.filter import Filter, FlowId
+from repro.flowspace.index import FlowKeyedStore
 from repro.nf import merge
 from repro.nf.base import NetworkFunction
 from repro.nf.costs import NFCostModel
@@ -99,10 +100,10 @@ class LoadBalancer(NetworkFunction):
         costs: Optional[NFCostModel] = None,
     ) -> None:
         super().__init__(sim, name, costs or LB_COSTS)
-        self.backends: Dict[FlowId, BackendStats] = {}
+        self.backends: FlowKeyedStore = FlowKeyedStore()
         for backend in backends:
             self.backends[FlowId.for_host(backend)] = BackendStats(backend)
-        self.bindings: Dict[FlowId, Dict[str, Any]] = {}
+        self.bindings: FlowKeyedStore = FlowKeyedStore()
         self._rotor = 0
         self.global_stats = {"packets": 0, "flows": 0}
         #: Mid-flow packets that arrived with no binding: the session had
@@ -168,8 +169,9 @@ class LoadBalancer(NetworkFunction):
         if scope is Scope.ALLFLOWS:
             return ["rotor"]
         store = self.bindings if scope is Scope.PERFLOW else self.backends
-        relevant = self.relevant_fields(scope)
-        return [fid for fid in store if flt.matches_flowid(fid, relevant)]
+        return store.keys_matching(
+            flt, self.relevant_fields(scope), indexed=self.use_indexed_state
+        )
 
     def export_chunk(self, scope: Scope, key: Any) -> Optional[StateChunk]:
         if scope is Scope.ALLFLOWS:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.flowspace.filter import Filter, FlowId
+from repro.flowspace.index import FlowKeyedStore
 from repro.nf import merge
 from repro.nf.base import NetworkFunction
 from repro.nf.costs import PRADS_COSTS, NFCostModel
@@ -93,8 +94,8 @@ class AssetMonitor(NetworkFunction):
         self, sim: Simulator, name: str, costs: Optional[NFCostModel] = None
     ) -> None:
         super().__init__(sim, name, costs or PRADS_COSTS)
-        self.conns: Dict[FlowId, ConnRecord] = {}
-        self.assets: Dict[FlowId, AssetRecord] = {}
+        self.conns: FlowKeyedStore = FlowKeyedStore()
+        self.assets: FlowKeyedStore = FlowKeyedStore()
         self.stats: Dict[str, int] = {field: 0 for field in _STATS_FIELDS}
 
     # ------------------------------------------------------------- processing
@@ -151,9 +152,9 @@ class AssetMonitor(NetworkFunction):
     def state_keys(self, scope: Scope, flt: Filter) -> List[Any]:
         if scope is Scope.ALLFLOWS:
             return ["stats"]
-        store = self._store(scope)
-        relevant = self.relevant_fields(scope)
-        return [fid for fid in store if flt.matches_flowid(fid, relevant)]
+        return self._store(scope).keys_matching(
+            flt, self.relevant_fields(scope), indexed=self.use_indexed_state
+        )
 
     def export_chunk(self, scope: Scope, key: Any) -> Optional[StateChunk]:
         if scope is Scope.ALLFLOWS:

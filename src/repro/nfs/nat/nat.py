@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.flowspace.filter import Filter, FlowId
+from repro.flowspace.index import FlowKeyedStore
 from repro.nf.base import NetworkFunction
 from repro.nf.costs import IPTABLES_COSTS, NFCostModel
 from repro.nf.state import Scope, StateChunk
@@ -31,7 +32,7 @@ class NetworkAddressTranslator(NetworkFunction):
         self, sim: Simulator, name: str, costs: Optional[NFCostModel] = None
     ) -> None:
         super().__init__(sim, name, costs or IPTABLES_COSTS)
-        self.conntrack: Dict[FlowId, ConntrackEntry] = {}
+        self.conntrack: FlowKeyedStore = FlowKeyedStore()
         self._next_port = FIRST_EXTERNAL_PORT
         self.invalid_packets = 0
         self.translated_packets = 0
@@ -67,8 +68,9 @@ class NetworkAddressTranslator(NetworkFunction):
     def state_keys(self, scope: Scope, flt: Filter) -> List[Any]:
         if scope is not Scope.PERFLOW:
             return []
-        relevant = self.relevant_fields(scope)
-        return [fid for fid in self.conntrack if flt.matches_flowid(fid, relevant)]
+        return self.conntrack.keys_matching(
+            flt, self.relevant_fields(scope), indexed=self.use_indexed_state
+        )
 
     def export_chunk(self, scope: Scope, key: Any) -> Optional[StateChunk]:
         if scope is not Scope.PERFLOW:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.flowspace.filter import Filter, FlowId
+from repro.flowspace.index import FlowKeyedStore
 from repro.flowspace.ip import ip_in_prefix
 from repro.nf.base import NetworkFunction, NFCrash
 from repro.nf.costs import SQUID_COSTS, NFCostModel
@@ -90,7 +91,7 @@ class CachingProxy(NetworkFunction):
         self, sim: Simulator, name: str, costs: Optional[NFCostModel] = None
     ) -> None:
         super().__init__(sim, name, costs or SQUID_COSTS)
-        self.transactions: Dict[FlowId, Transaction] = {}
+        self.transactions: FlowKeyedStore = FlowKeyedStore()
         self.cache: Dict[str, CacheEntry] = {}
         self.stats: Dict[str, int] = {
             "hits": 0,
@@ -173,10 +174,9 @@ class CachingProxy(NetworkFunction):
         if scope is Scope.ALLFLOWS:
             return ["stats"]
         if scope is Scope.PERFLOW:
-            relevant = self.relevant_fields(scope)
-            return [
-                fid for fid in self.transactions if flt.matches_flowid(fid, relevant)
-            ]
+            return self.transactions.keys_matching(
+                flt, self.relevant_fields(scope), indexed=self.use_indexed_state
+            )
         # Multi-flow: cache entries, with client-IP referencing.
         keys: List[str] = []
         client_prefix = flt.fields.get("nw_src")
