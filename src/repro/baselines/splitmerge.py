@@ -59,6 +59,24 @@ class SplitMergeMigrate:
             dst=self.dst.name,
         )
         self.done = self.sim.event("splitmerge-done")
+        #: Shares the controller's observability bundle so the baseline's
+        #: defects are visible to the same auditors as OpenNF moves — its
+        #: root span carries ``guarantee="none"``, so the auditors still
+        #: hold it to loss-freedom (drops are real losses here, not a
+        #: guarantee the baseline opted out of) but not to ordering.
+        self.obs = controller.obs
+        self.trace = self.obs.operation(
+            self.sim,
+            self.report,
+            "splitmerge-migrate",
+            guarantee="none",
+            filter=repr(flt),
+            src=self.src.name,
+            dst=self.dst.name,
+        )
+        self.src = self.trace.bind(self.src)
+        self.dst = self.trace.bind(self.dst)
+        self.switch = self.trace.bind(controller.switch_client)
         self._halted_packets: List[Packet] = []
         self._halting = True
         self._drops_at_start = 0
@@ -68,11 +86,19 @@ class SplitMergeMigrate:
     def _on_packet_in(self, packet: Packet) -> None:
         if self._halting:
             # Halted at the orchestrator while state moves.
+            if self.obs.enabled:
+                self.obs.tracer.record(
+                    "ctrl.buffer",
+                    trace_id=self.trace.trace_id,
+                    where="halt",
+                    uid=packet.uid,
+                    flow=packet.flow_key(),
+                )
             self._halted_packets.append(packet)
         else:
             # Figure 5's race: a late packet is forwarded to dstInst even
             # though the switch may already be sending newer packets there.
-            self.controller.switch_client.packet_out(packet, self.dst_port)
+            self.switch.packet_out(packet, self.dst_port)
 
     def _run(self):
         self.report.started_at = self.sim.now
@@ -86,7 +112,7 @@ class SplitMergeMigrate:
         drop_armed = self.src.enable_events(
             self.flt, EventAction.DROP, silent=True
         )
-        halted = self.controller.switch_client.install(
+        halted = self.switch.install(
             self.flt, [CONTROLLER_PORT], MID_PRIORITY
         )
         yield AllOf([drop_armed, halted])
@@ -110,7 +136,15 @@ class SplitMergeMigrate:
 
         # 4. Flush the packets buffered at the orchestrator...
         for packet in self._halted_packets:
-            self.controller.switch_client.packet_out(packet, self.dst_port)
+            if self.obs.enabled:
+                self.obs.tracer.record(
+                    "ctrl.release",
+                    trace_id=self.trace.trace_id,
+                    where="halt",
+                    uid=packet.uid,
+                    flow=packet.flow_key(),
+                )
+            self.switch.packet_out(packet, self.dst_port)
         self.report.packets_in_events = len(self._halted_packets)
         for packet in self._halted_packets:
             self.report.affected_uids.add(packet.uid)
@@ -118,7 +152,7 @@ class SplitMergeMigrate:
         self._halting = False
 
         # 5. ...and race the forwarding update (no synchronization).
-        yield self.controller.switch_client.install(
+        yield self.switch.install(
             self.flt, [self.dst_port], HIGH_PRIORITY
         )
         self.report.mark_phase("rerouted", self.sim.now)
@@ -127,9 +161,10 @@ class SplitMergeMigrate:
         yield self.drain_grace_ms
         self.controller.remove_interest(self._interest)
         yield self.src.disable_events_covered(self.flt)
-        yield self.controller.switch_client.remove(self.flt, MID_PRIORITY)
+        yield self.switch.remove(self.flt, MID_PRIORITY)
         self.report.packets_dropped = (
             self.src.nf.packets_dropped_silent - self._drops_at_start
         )
+        self.trace.finish(aborted=self.report.aborted)
         self.done.trigger(self.report)
         return self.report

@@ -5,6 +5,10 @@ Usage::
     python -m repro.cli demo-move --guarantee op --flows 200 --rate 2500
     python -m repro.cli trace --guarantee op --flows 100
     python -m repro.cli faults --spec "seed=3,drop=0.05" --guarantee op
+    python -m repro.cli audit --baseline splitmerge --flows 60 --rate 6000
+    python -m repro.cli audit run.trace.jsonl
+    python -m repro.cli audit bundle.json
+    python -m repro.cli metrics --guarantee op --filter sb
     python -m repro.cli validate --seeds 5
     python -m repro.cli version
 
@@ -109,6 +113,51 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--seeds", type=int, default=3)
     validate.add_argument("--flows", type=int, default=60)
     validate.add_argument("--rate", type=float, default=5000.0)
+
+    audit = sub.add_parser(
+        "audit",
+        help="run the guarantee auditors over a live move, a recorded "
+             ".trace.jsonl, or render a flight-recorder bundle",
+    )
+    audit.add_argument("path", nargs="?", default=None, metavar="FILE",
+                       help="a flight-recorder bundle (.json) to render, "
+                            "or a span/record trace (.jsonl) to replay "
+                            "through the auditors; omit for a live run")
+    audit.add_argument("--guarantee", default="loss-free", type=_guarantee,
+                       metavar="LEVEL",
+                       help="live run: move safety level (any alias)")
+    audit.add_argument("--baseline", choices=["splitmerge"], default=None,
+                       help="live run: audit a prior-control-plane "
+                            "baseline instead of an OpenNF move")
+    audit.add_argument("--flows", type=int, default=60)
+    audit.add_argument("--rate", type=float, default=5000.0,
+                       help="replay rate in packets/second")
+    audit.add_argument("--seed", type=int, default=7)
+    audit.add_argument("--faults", metavar="SPEC", default=None,
+                       help="fault-plan spec for the live run "
+                            "(default: $OPENNF_FAULTS if set)")
+    audit.add_argument("--batching", action="store_true",
+                       help="live run: batch control-plane messages")
+    audit.add_argument("--abort-at", type=float, default=None, metavar="MS",
+                       help="live run: abort the operation this many ms "
+                            "after it starts (exercises the recorder)")
+    audit.add_argument("--bundle", metavar="PATH", default=None,
+                       help="also write any captured post-mortem bundle "
+                            "as JSON to this path")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one observed move and print Prometheus-format metrics",
+    )
+    metrics.add_argument("--guarantee", default="op", type=_guarantee,
+                         metavar="LEVEL")
+    metrics.add_argument("--flows", type=int, default=100)
+    metrics.add_argument("--rate", type=float, default=2500.0,
+                         help="replay rate in packets/second")
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--filter", dest="name_filter", default=None,
+                         metavar="PREFIX",
+                         help="only print metrics whose name starts here")
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -262,6 +311,109 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_violations(violations) -> None:
+    if not violations:
+        print("violations: none")
+        return
+    print("violations: %d" % len(violations))
+    for violation in violations:
+        print("  " + violation.render())
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_bundle, replay_trace
+
+    if args.path is not None:
+        # Offline mode: a bundle to render, or a trace to replay.
+        try:
+            with open(args.path) as handle:
+                first = handle.read(1)
+        except OSError as exc:
+            print("repro audit: error: %s" % exc, file=sys.stderr)
+            return 2
+        try:
+            payload = json.load(open(args.path))
+        except ValueError:
+            payload = None
+        if isinstance(payload, dict) and "causal_slice" in payload:
+            print(render_bundle(payload))
+            return 0
+        if not first:
+            print("repro audit: error: %s is empty" % args.path,
+                  file=sys.stderr)
+            return 2
+        pipeline = replay_trace(args.path)
+        _print_violations(pipeline.violations)
+        return 1 if pipeline.violations else 0
+
+    # Live mode: run an audited experiment.
+    from repro.harness import LOCAL_NET_FILTER, run_move_experiment
+
+    holder = {}
+    operation = None
+    if args.baseline == "splitmerge":
+        from repro.baselines import SplitMergeMigrate
+
+        def operation(dep):
+            return SplitMergeMigrate(
+                dep.controller, "inst1", "inst2", LOCAL_NET_FILTER
+            )
+    elif args.abort_at is not None:
+        def operation(dep):
+            op = dep.controller.move(
+                "inst1", "inst2", LOCAL_NET_FILTER,
+                guarantee=args.guarantee,
+            )
+            dep.sim.schedule(args.abort_at, op.abort, "aborted via CLI")
+            holder["op"] = op
+            return op
+
+    result = run_move_experiment(
+        guarantee=args.guarantee,
+        n_flows=args.flows,
+        rate_pps=args.rate,
+        seed=args.seed,
+        operation=operation,
+        audit=True,
+        fault_plan=_fault_plan_from(args.faults),
+        batching=True if args.batching else None,
+    )
+    obs = result.deployment.obs
+    print(result.report.summary())
+    violations = obs.violations()
+    _print_violations(violations)
+    for bundle in obs.recorder.bundles:
+        print()
+        print(render_bundle(bundle))
+    if args.bundle and obs.recorder.bundles:
+        with open(args.bundle, "w") as handle:
+            json.dump(obs.recorder.bundles[-1], handle, indent=2,
+                      sort_keys=True)
+        print("wrote bundle to %s" % args.bundle)
+    return 1 if violations else 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    result = run_move_experiment(
+        guarantee=args.guarantee,
+        n_flows=args.flows,
+        rate_pps=args.rate,
+        seed=args.seed,
+        observe=True,
+    )
+    text = result.deployment.obs.metrics.render_prometheus()
+    if args.name_filter:
+        blocks = []
+        for block in text.split("# TYPE "):
+            if block and block.startswith(args.name_filter):
+                blocks.append("# TYPE " + block)
+        text = "".join(blocks)
+    sys.stdout.write(text)
+    return 1 if result.report.aborted else 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     failures = 0
     for seed in range(args.seeds):
@@ -302,6 +454,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_faults(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "audit":
+        return _cmd_audit(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     return 2
 
 

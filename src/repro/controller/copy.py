@@ -69,6 +69,10 @@ class CopyOperation(Operation):
             dst=dst.name,
             scopes=",".join(s.value for s in scopes),
         )
+        # Causally bound stubs (pass-throughs while tracing is off):
+        # every get/put RPC below inherits this copy's trace_id.
+        self.src = self.trace.bind(self.src)
+        self.dst = self.trace.bind(self.dst)
         self._sb_stats_at_start = self._sb_stats()
         self.process = self.sim.spawn(self._run(), name="copy-op")
 

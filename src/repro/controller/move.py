@@ -159,6 +159,12 @@ class MoveOperation(Operation):
         )
         if self.trace.root.span_id is not None:
             self.trace.root.set(op_id=self.trace.root.span_id)
+        #: Causally bound stubs: southbound RPCs and switch commands
+        #: issued through these inherit this operation's ``trace_id``
+        #: (plain pass-throughs while tracing is disabled).
+        self.src = self.trace.bind(self.src)
+        self.dst = self.trace.bind(self.dst)
+        self.switch = self.trace.bind(controller.switch_client)
 
         # Event-buffering machinery (loss-free / order-preserving).
         # One globally ordered buffer, as in Figure 6: flushing must not
@@ -310,7 +316,7 @@ class MoveOperation(Operation):
         with self.trace.phase("state-transfer", mark=None) as ph:
             yield from self._transfer_state(lock_per_chunk=False, parent=ph.span)
         with self.trace.phase("reroute", mark="rerouted"):
-            yield self.controller.switch_client.install(
+            yield self.switch.install(
                 self.flt, [self.dst_port], MID_PRIORITY
             )
 
@@ -348,11 +354,11 @@ class MoveOperation(Operation):
                 # Ensure flushed event packets have actually left the
                 # switch (rate-capped packet-out path) before switching
                 # traffic over.
-                yield self.controller.switch_client.packet_out_barrier()
+                yield self.switch.packet_out_barrier()
 
         if not order_preserving:
             with self.trace.phase("reroute", mark="rerouted"):
-                yield self.controller.switch_client.install(
+                yield self.switch.install(
                     self.flt, [self.dst_port], MID_PRIORITY
                 )
             return
@@ -374,7 +380,7 @@ class MoveOperation(Operation):
             with self.trace.phase(
                 "phase1-install", mark="phase1-installed", parent=fwd.span
             ):
-                yield self.controller.switch_client.install(
+                yield self.switch.install(
                     self.flt, [self.src_port, CONTROLLER_PORT], MID_PRIORITY
                 )
 
@@ -394,7 +400,7 @@ class MoveOperation(Operation):
             with self.trace.phase(
                 "phase2-install", mark="phase2-installed", parent=fwd.span
             ):
-                yield self.controller.switch_client.install(
+                yield self.switch.install(
                     self.flt, [self.dst_port], HIGH_PRIORITY
                 )
 
@@ -405,7 +411,7 @@ class MoveOperation(Operation):
                 # packet is really the last one forwarded to srcInst.
                 while True:
                     packets, _bytes = (
-                        yield self.controller.switch_client.read_counters(
+                        yield self.switch.read_counters(
                             self.flt, MID_PRIORITY
                         )
                     )
@@ -479,7 +485,7 @@ class MoveOperation(Operation):
         )
         # 1. Redirect the flow space through the controller.
         with self.trace.phase("redirect", mark="redirected"):
-            yield self.controller.switch_client.install(
+            yield self.switch.install(
                 self.flt, [CONTROLLER_PORT], MID_PRIORITY
             )
         # 2. Surface in-flight stragglers as events.
@@ -508,20 +514,22 @@ class MoveOperation(Operation):
                 self.obs.metrics.counter(
                     "ctrl.move.buffered_packets_released"
                 ).inc(len(ctrl_buffered))
+                for packet in ctrl_buffered:
+                    self._record_packet("ctrl.release", packet, "redirect")
             for packet in ctrl_buffered:
                 self._forward_to_dst(packet, True)
             self._buffering = False            # later arrivals: immediate
 
         # 4. Hand the flow space to the destination.
         with self.trace.phase("reroute", mark="rerouted"):
-            yield self.controller.switch_client.install(
+            yield self.switch.install(
                 self.flt, [self.dst_port], HIGH_PRIORITY
             )
         with self.trace.phase("await-last-packet", mark=None) as await_ph:
             # Confirm the controller saw every redirected packet.
             while True:
                 packets, _bytes = (
-                    yield self.controller.switch_client.read_counters(
+                    yield self.switch.read_counters(
                         self.flt, MID_PRIORITY
                     )
                 )
@@ -548,6 +556,7 @@ class MoveOperation(Operation):
                 self.obs.metrics.counter(
                     "ctrl.move.buffered_packets_captured"
                 ).inc(1)
+                self._record_packet("ctrl.buffer", packet, "redirect")
             self._ctrl_buffer.append(packet)
         else:
             self._forward_to_dst(packet, True)
@@ -779,6 +788,7 @@ class MoveOperation(Operation):
                     self.obs.metrics.counter(
                         "ctrl.move.buffered_packets_captured"
                     ).inc(1)
+                    self._record_packet("ctrl.buffer", packet, "events")
                 self._event_buffer.append(packet)
         else:
             self._forward_to_dst(packet, mark)
@@ -800,7 +810,17 @@ class MoveOperation(Operation):
     def _forward_to_dst(self, packet: Packet, mark: bool) -> None:
         if mark:
             packet.mark(DO_NOT_BUFFER)
-        self.controller.switch_client.packet_out(packet, self.dst_port)
+        self.switch.packet_out(packet, self.dst_port)
+
+    def _record_packet(self, name: str, packet: Packet, where: str) -> None:
+        """Buffered/released packet record, tagged with the trace id."""
+        self.obs.tracer.record(
+            name,
+            trace_id=self.trace.trace_id,
+            where=where,
+            uid=packet.uid,
+            flow=packet.flow_key(),
+        )
 
     def _release_frame(self, frame: List[StateChunk]) -> None:
         """Early release for a whole applied frame (batched transfer)."""
@@ -823,18 +843,20 @@ class MoveOperation(Operation):
             Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
         )
         kept: List[Packet] = []
-        released = 0
+        flushed: List[Packet] = []
         for packet in self._event_buffer:
             if release_filter.matches_packet(packet):
                 self._forward_to_dst(packet, mark)
-                released += 1
+                flushed.append(packet)
             else:
                 kept.append(packet)
         self._event_buffer = kept
-        if released and self.obs.enabled:
+        if flushed and self.obs.enabled:
             self.obs.metrics.counter(
                 "ctrl.move.buffered_packets_released"
-            ).inc(released)
+            ).inc(len(flushed))
+            for packet in flushed:
+                self._record_packet("ctrl.release", packet, "early")
 
     def _flush_queues(self, mark: bool, port: Optional[str] = None) -> None:
         target = self.dst_port if port is None else port
@@ -843,10 +865,12 @@ class MoveOperation(Operation):
             self.obs.metrics.counter(
                 "ctrl.move.buffered_packets_released"
             ).inc(len(buffered))
+            for packet in buffered:
+                self._record_packet("ctrl.release", packet, "flush")
         for packet in buffered:
             if mark:
                 packet.mark(DO_NOT_BUFFER)
-            self.controller.switch_client.packet_out(packet, target)
+            self.switch.packet_out(packet, target)
 
     # ----------------------------------------------------------------- cleanup
 
@@ -858,7 +882,7 @@ class MoveOperation(Operation):
             ):
                 # The phase-1 {src, ctrl} rule is shadowed by the HIGH rule;
                 # retire it so later operations start from a clean table.
-                yield self.controller.switch_client.remove(self.flt, MID_PRIORITY)
+                yield self.switch.remove(self.flt, MID_PRIORITY)
             # Remove the source's event rules (global and late-locked per-flow).
             yield self.src.disable_events_covered(self.flt)
             # Flush anything that trickled in during the grace period.

@@ -105,6 +105,11 @@ class ShareOperation(Operation):
             filter=repr(flt),
             instances=",".join(i.name for i in instances),
         )
+        # Causally bound stubs (pass-throughs while tracing is off):
+        # every RPC and switch command below inherits the session's
+        # trace_id, including ones issued from the per-group workers.
+        self.instances = [self.trace.bind(c) for c in self.instances]
+        self.switch = self.trace.bind(controller.switch_client)
         self._queues: "OrderedDict[Any, Deque[Tuple[str, Packet, float]]]" = (
             OrderedDict()
         )
@@ -144,7 +149,7 @@ class ShareOperation(Operation):
             ]
             yield AllOf(acks)
             # Redirect every relevant forwarding entry to the controller.
-            entries = yield self.controller.switch_client.read_entries(self.flt)
+            entries = yield self.switch.read_entries(self.flt)
             redirects = []
             for entry_filter, priority, actions in entries:
                 targets = {
@@ -158,10 +163,10 @@ class ShareOperation(Operation):
                 if self.controller.batching is not None:
                     # One batched flow-mod instead of len(redirects)
                     # control messages (§8.3).
-                    yield self.controller.switch_client.install_batch(redirects)
+                    yield self.switch.install_batch(redirects)
                 else:
                     yield AllOf([
-                        self.controller.switch_client.install(flt, acts, prio)
+                        self.switch.install(flt, acts, prio)
                         for flt, acts, prio in redirects
                     ])
             self._interest_handles.append(
@@ -280,7 +285,7 @@ class ShareOperation(Operation):
                         packet.mark(DO_NOT_DROP)
                     waiter = self.sim.event("share-processed")
                     self._awaiting[(origin_name, packet.uid)] = waiter
-                    self.controller.switch_client.packet_out(
+                    self.switch.packet_out(
                         packet, self.controller.port_of(origin_name)
                     )
                     if self.controller.reliable:
@@ -371,14 +376,14 @@ class ShareOperation(Operation):
             self.report.notes.append("teardown incomplete: %s" % exc)
         if self._redirected_entries:
             if self.controller.batching is not None:
-                yield self.controller.switch_client.install_batch([
+                yield self.switch.install_batch([
                     (entry_filter, list(actions), priority)
                     for entry_filter, priority, actions
                     in self._redirected_entries
                 ])
             else:
                 yield AllOf([
-                    self.controller.switch_client.install(
+                    self.switch.install(
                         entry_filter, list(actions), priority
                     )
                     for entry_filter, priority, actions

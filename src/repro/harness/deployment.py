@@ -38,6 +38,7 @@ class Deployment:
         sw_channel_latency_ms: float = 0.6,
         nf_channel_bandwidth_bytes_per_ms: float = 125_000.0,
         observe: bool = False,
+        audit: bool = False,
         obs: Optional[Observability] = None,
         faults=None,
         retry=None,
@@ -47,8 +48,12 @@ class Deployment:
         self.sim = sim or Simulator()
         #: One shared observability bundle; disabled unless ``observe=True``
         #: (or a pre-built ``obs`` is passed in), in which case spans land
-        #: in ``self.obs.exporter``.
-        self.obs = obs or Observability(sim=self.sim, enabled=observe)
+        #: in ``self.obs.exporter``. ``audit=True`` additionally streams
+        #: the trace through the online guarantee auditors and arms the
+        #: flight recorder (implies ``observe``).
+        self.obs = obs or Observability(
+            sim=self.sim, enabled=observe, audit=audit
+        )
         #: Optional :class:`repro.faults.FaultPlan` (or a spec string for
         #: :meth:`FaultPlan.from_spec`). Installing one switches the
         #: whole control plane into reliable mode; ``None`` keeps the

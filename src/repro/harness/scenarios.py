@@ -57,6 +57,7 @@ def run_move_experiment(
     operation: Optional[Callable[[Deployment], Any]] = None,
     scope: str = "per",
     observe: bool = False,
+    audit: bool = False,
     fault_plan: Any = None,
     batching: Any = None,
 ) -> MoveExperimentResult:
@@ -66,7 +67,10 @@ def run_move_experiment(
     Split/Merge migrate instead); it receives the deployment and must
     return an object with a ``done`` event carrying an OperationReport.
     ``observe=True`` enables tracing/metrics; the collected spans are at
-    ``result.deployment.obs.exporter.spans``. ``fault_plan`` (a
+    ``result.deployment.obs.exporter.spans``. ``audit=True`` (implies
+    ``observe``) additionally runs the online guarantee auditors —
+    violations are at ``result.deployment.obs.violations()``, post-mortem
+    bundles at ``result.deployment.obs.recorder.bundles``. ``fault_plan`` (a
     :class:`repro.faults.FaultPlan` or spec string) injects control-plane
     faults and switches the deployment into reliable mode. ``batching``
     (a :class:`repro.net.channel.BatchConfig` or ``True`` for defaults)
@@ -74,6 +78,8 @@ def run_move_experiment(
     """
     kwargs = dict(deployment_kwargs or {})
     kwargs.setdefault("observe", observe)
+    if audit:
+        kwargs.setdefault("audit", audit)
     if fault_plan is not None:
         kwargs.setdefault("faults", fault_plan)
     if batching is not None:

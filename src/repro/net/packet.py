@@ -66,6 +66,18 @@ class Packet:
         """Approximate wire size: headers plus payload length."""
         return HEADER_OVERHEAD_BYTES + len(self.payload)
 
+    def flow_key(self) -> str:
+        """Canonical (direction-insensitive) flow name for this packet.
+
+        Both directions of a connection map to the same key, matching
+        the symmetric per-flow grouping the §5.1 properties are stated
+        over; auditors and trace records use it to name flows.
+        """
+        c = self.five_tuple.canonical()
+        return "%s:%s-%s:%s/%s" % (
+            c.src_ip, c.src_port, c.dst_ip, c.dst_port, c.proto
+        )
+
     def headers(self) -> Dict[str, Any]:
         """Header-field dict for filter matching."""
         fields = self.five_tuple.headers()

@@ -213,6 +213,15 @@ class NetworkFunction:
                 self.obs.metrics.counter("nf.packets.dropped").inc(
                     1, nf=self.name, mode="silent" if rule.silent else "evented"
                 )
+                # A zero-duration span (not a record) so loss-freedom
+                # violations can cite the dropped packet by span id.
+                self.obs.tracer.span(
+                    "nf.drop",
+                    nf=self.name,
+                    uid=packet.uid,
+                    flow=packet.flow_key(),
+                    silent=rule.silent,
+                ).finish()
             if rule.silent:
                 self.packets_dropped_silent += 1
                 self.sim.schedule(self.costs.disposition_ms, self._drain)
@@ -230,7 +239,8 @@ class NetworkFunction:
                     1, nf=self.name
                 )
                 self.obs.tracer.record("nf.buffer", nf=self.name,
-                                       uid=packet.uid)
+                                       uid=packet.uid,
+                                       flow=packet.flow_key())
             self._rule_buffers.setdefault(id(rule), []).append(packet)
             self.sim.schedule(self.costs.disposition_ms, self._drain)
 
@@ -257,7 +267,8 @@ class NetworkFunction:
             self.obs.metrics.counter("nf.packets.processed").inc(
                 1, nf=self.name
             )
-            self.obs.tracer.record("nf.process", nf=self.name, uid=packet.uid)
+            self.obs.tracer.record("nf.process", nf=self.name,
+                                   uid=packet.uid, flow=packet.flow_key())
         if rule is not None:
             self._raise_event(packet, EventAction.PROCESS)
         self._drain()
@@ -495,6 +506,14 @@ class NetworkFunction:
                     yield self.costs.compress_ms(chunk.size_bytes)
                     chunk.compressed = True
                 chunks.append(chunk)
+                if self.obs.enabled:
+                    self.obs.tracer.record(
+                        "nf.chunk.export",
+                        nf=self.name,
+                        scope=chunk.scope.value,
+                        key=repr(chunk.flowid),
+                        bytes=chunk.size_bytes,
+                    )
                 if stream is not None:
                     stream(chunk)
             return chunks
@@ -522,6 +541,14 @@ class NetworkFunction:
                     yield self.costs.decompress_ms(chunk.size_bytes)
                 yield self.costs.deserialize_ms(chunk.size_bytes)
                 self.import_chunk(chunk)
+                if self.obs.enabled:
+                    self.obs.tracer.record(
+                        "nf.chunk.import",
+                        nf=self.name,
+                        scope=chunk.scope.value,
+                        key=repr(chunk.flowid),
+                        bytes=chunk.size_bytes,
+                    )
             return len(chunks)
         finally:
             self._transfers_active -= 1

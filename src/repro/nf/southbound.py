@@ -56,6 +56,7 @@ from repro.nf.events import EventAction
 from repro.nf import protocol
 from repro.nf.state import Scope, StateChunk, chunks_total_bytes, chunks_wire_bytes
 from repro.obs import NULL_OBS
+from repro.obs.span import NULL_SPAN
 from repro.sim.core import Event, Simulator
 
 #: Fallback size for small fixed messages (acks, list requests).
@@ -210,8 +211,14 @@ class NFClient:
         request_size: int,
         at_nf: Callable[[], None],
         rid: Optional[int],
+        span: Any = NULL_SPAN,
     ) -> None:
-        """Ship one request; reliable mode adds timeout/retry/dedup."""
+        """Ship one request; reliable mode adds timeout/retry/dedup.
+
+        ``span`` is the already-open ``sb.<op>`` span; retries annotate
+        it with ``retry`` events so a replayed request stays inside the
+        same causal span instead of minting an orphan.
+        """
         if rid is None:
             self.to_nf.send(request_size, at_nf)
             return
@@ -249,6 +256,7 @@ class NFClient:
                 self.obs.metrics.counter("sb.retries_total").inc(
                     1, nf=self.nf.name, op=op
                 )
+            span.event("retry", attempt=state["attempt"])
             send_attempt()
 
         if self.obs.enabled:
@@ -257,11 +265,38 @@ class NFClient:
                     state["attempt"], nf=self.nf.name, op=op))
         send_attempt()
 
-    def _observe_rpc(self, op: str, done: Event, **attrs) -> Event:
-        """Time one RPC: span from request to response, plus metrics."""
+    def _rpc_span(self, op: str, **attrs) -> Any:
+        """Open the ``sb.<op>`` span at request-issue time.
+
+        Minted *before* the request ships so that (a) a causally bound
+        caller's ``trace_id`` is inherited while the proxy's cause
+        window is still open, and (b) NF-side closures can cite it as
+        their ``cause_id`` when the apply/flush happens, long after the
+        synchronous call returned.
+        """
+        if not self.obs.enabled:
+            return NULL_SPAN
+        return self.obs.tracer.span("sb.%s" % op, nf=self.nf.name, **attrs)
+
+    def _nf_side_span(self, name: str, rpc_span: Any, **attrs) -> Any:
+        """NF-side span causally chained to the RPC that requested it.
+
+        The NF applies/flushes after the request crossed the channel,
+        so the tracer's cause window is long closed — the causal link
+        is stamped explicitly from the RPC span instead.
+        """
+        if not self.obs.enabled or rpc_span.span_id is None:
+            return NULL_SPAN
+        trace_id = rpc_span.attrs.get("trace_id")
+        if trace_id is not None:
+            attrs["trace_id"] = trace_id
+        attrs["cause_id"] = rpc_span.span_id
+        return self.obs.tracer.span(name, nf=self.nf.name, **attrs)
+
+    def _finish_rpc(self, op: str, done: Event, span: Any) -> Event:
+        """Close the RPC span when the response lands, plus metrics."""
         if not self.obs.enabled:
             return done
-        span = self.obs.tracer.span("sb.%s" % op, nf=self.nf.name, **attrs)
         start = self.sim.now
         metrics = self.obs.metrics
 
@@ -301,6 +336,11 @@ class NFClient:
         done = self.sim.event("get-%s@%s" % (scope.value, self.nf.name))
         rid = self._next_request_id()
         streamed = stream is not None or stream_frame is not None
+        span = self._rpc_span(
+            "get.%s" % scope.value,
+            filter=str(flt),
+            streamed=streamed or raw_stream is not None,
+        )
         #: Streamed chunks that actually landed controller-side; lost or
         #: duplicated chunk messages are reconciled against this.
         received_ids: set = set()
@@ -413,13 +453,8 @@ class NFClient:
             stream=streamed or raw_stream is not None,
         )
         self._invoke("get.%s" % scope.value, done,
-                     protocol.message_size(request), at_nf, rid)
-        return self._observe_rpc(
-            "get.%s" % scope.value,
-            done,
-            filter=str(flt),
-            streamed=streamed or raw_stream is not None,
-        )
+                     protocol.message_size(request), at_nf, rid, span)
+        return self._finish_rpc("get.%s" % scope.value, done, span)
 
     def get_perflow(
         self,
@@ -469,6 +504,7 @@ class NFClient:
         """
         done = self.sim.event("list@%s" % self.nf.name)
         rid = self._next_request_id()
+        span = self._rpc_span("list.%s" % scope.value)
 
         def at_nf() -> None:
             keys = self.nf.state_keys(scope, flt)
@@ -478,8 +514,8 @@ class NFClient:
             )
 
         size = REQUEST_BYTES + (REQUEST_ID_BYTES if rid is not None else 0)
-        self._invoke("list.%s" % scope.value, done, size, at_nf, rid)
-        return self._observe_rpc("list.%s" % scope.value, done)
+        self._invoke("list.%s" % scope.value, done, size, at_nf, rid, span)
+        return self._finish_rpc("list.%s" % scope.value, done, span)
 
     # ------------------------------------------------------------------- put
 
@@ -487,22 +523,32 @@ class NFClient:
         chunk_list = list(chunks)
         done = self.sim.event("put@%s" % self.nf.name)
         rid = self._next_request_id()
-
-        def respond(event: Event) -> None:
-            if not event.ok:
-                self._send_response(rid, done, REQUEST_BYTES,
-                                    event.exception, failed=True)
-                return
-            self._send_response(rid, done, REQUEST_BYTES, event.value)
+        span = self._rpc_span(op, chunks=len(chunk_list))
 
         def at_nf() -> None:
+            apply_span = self._nf_side_span(
+                "nf.apply", span, chunks=len(chunk_list)
+            )
+
+            def respond(event: Event) -> None:
+                if not event.ok:
+                    if apply_span.span_id is not None:
+                        apply_span.set(error=repr(event.exception))
+                        apply_span.status = "error"
+                    apply_span.finish()
+                    self._send_response(rid, done, REQUEST_BYTES,
+                                        event.exception, failed=True)
+                    return
+                apply_span.finish()
+                self._send_response(rid, done, REQUEST_BYTES, event.value)
+
             proc = self.nf.sb_put(chunk_list)
             proc.done.add_callback(respond)
 
         header = protocol.put_request("put", len(chunk_list), request_id=rid)
         size = chunks_wire_bytes(chunk_list) + protocol.message_size(header)
-        self._invoke(op, done, size, at_nf, rid)
-        return self._observe_rpc(op, done, chunks=len(chunk_list))
+        self._invoke(op, done, size, at_nf, rid, span)
+        return self._finish_rpc(op, done, span)
 
     def put_perflow(self, chunks: Iterable[StateChunk]) -> Event:
         """``putPerflow(multimap<flowid,chunk>)``; triggers when merged."""
@@ -522,6 +568,7 @@ class NFClient:
         ids = list(flowids)
         done = self.sim.event("del@%s" % self.nf.name)
         rid = self._next_request_id()
+        span = self._rpc_span("del.%s" % scope.value, flowids=len(ids))
 
         def respond(event: Event) -> None:
             if not event.ok:
@@ -538,10 +585,8 @@ class NFClient:
             "del%s" % scope.value.capitalize(), ids, request_id=rid
         )
         self._invoke("del.%s" % scope.value, done,
-                     protocol.message_size(request), at_nf, rid)
-        return self._observe_rpc(
-            "del.%s" % scope.value, done, flowids=len(ids)
-        )
+                     protocol.message_size(request), at_nf, rid, span)
+        return self._finish_rpc("del.%s" % scope.value, done, span)
 
     def del_perflow(self, flowids: Iterable[FlowId]) -> Event:
         """``delPerflow(list<flowid>)``."""
@@ -559,6 +604,7 @@ class NFClient:
         """``enableEvents(filter, action)``; triggers when the rule is live."""
         done = self.sim.event("enableEvents@%s" % self.nf.name)
         rid = self._next_request_id()
+        span = self._rpc_span("enableEvents", action=action.value)
 
         def at_nf() -> None:
             self.nf.sb_enable_events(flt, action, silent=silent)
@@ -568,23 +614,32 @@ class NFClient:
             "enableEvents", flt, action.value, request_id=rid
         )
         self._invoke("enableEvents", done,
-                     protocol.message_size(request), at_nf, rid)
-        return self._observe_rpc("enableEvents", done, action=action.value)
+                     protocol.message_size(request), at_nf, rid, span)
+        return self._finish_rpc("enableEvents", done, span)
 
     def disable_events(self, flt: Filter) -> Event:
         """``disableEvents(filter)``; triggers when the rule is removed."""
         done = self.sim.event("disableEvents@%s" % self.nf.name)
         rid = self._next_request_id()
+        span = self._rpc_span("disableEvents")
 
         def at_nf() -> None:
+            flush_span = self._nf_side_span("nf.flush", span)
+            if flush_span.span_id is not None:
+                before = self.nf.buffered_packet_count()
             self.nf.sb_disable_events(flt)
+            if flush_span.span_id is not None:
+                flush_span.set(
+                    released=before - self.nf.buffered_packet_count()
+                )
+            flush_span.finish()
             self._send_response(rid, done, REQUEST_BYTES, None)
 
         request = protocol.events_request("disableEvents", flt,
                                           request_id=rid)
         self._invoke("disableEvents", done,
-                     protocol.message_size(request), at_nf, rid)
-        return self._observe_rpc("disableEvents", done)
+                     protocol.message_size(request), at_nf, rid, span)
+        return self._finish_rpc("disableEvents", done, span)
 
     def disable_events_covered(self, flt: Filter) -> Event:
         """Disable every rule whose filter falls under ``flt``.
@@ -594,11 +649,20 @@ class NFClient:
         """
         done = self.sim.event("disableEventsCovered@%s" % self.nf.name)
         rid = self._next_request_id()
+        span = self._rpc_span("disableEventsCovered")
 
         def at_nf() -> None:
+            flush_span = self._nf_side_span("nf.flush", span)
+            if flush_span.span_id is not None:
+                before = self.nf.buffered_packet_count()
             self.nf.sb_disable_events_covered(flt)
+            if flush_span.span_id is not None:
+                flush_span.set(
+                    released=before - self.nf.buffered_packet_count()
+                )
+            flush_span.finish()
             self._send_response(rid, done, REQUEST_BYTES, None)
 
         size = REQUEST_BYTES + (REQUEST_ID_BYTES if rid is not None else 0)
-        self._invoke("disableEventsCovered", done, size, at_nf, rid)
-        return self._observe_rpc("disableEventsCovered", done)
+        self._invoke("disableEventsCovered", done, size, at_nf, rid, span)
+        return self._finish_rpc("disableEventsCovered", done, span)

@@ -29,8 +29,9 @@ one, and the trace itself is deterministic per seed.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
+from repro.obs.audit import AuditPipeline, Violation, replay_trace
 from repro.obs.export import (
     InMemoryExporter,
     JsonLinesExporter,
@@ -38,11 +39,47 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.operation import OperationTrace
+from repro.obs.recorder import FlightRecorder, render_bundle
 from repro.obs.span import NULL_SPAN, Span, Tracer
 
 
+class _TeeExporter:
+    """Fans finished spans/records out to the base exporter plus taps.
+
+    The span payload dict is built exactly once per span and shared by
+    every tap (auditors, flight recorder); the base exporter keeps
+    receiving the :class:`Span` object itself, so test/CLI queries on
+    ``obs.exporter`` are unchanged.
+    """
+
+    __slots__ = ("base", "taps")
+
+    def __init__(self, base, taps) -> None:
+        self.base = base
+        self.taps = taps
+
+    def export_span(self, span: Span) -> None:
+        self.base.export_span(span)
+        payload = span.to_dict()
+        for tap in self.taps:
+            tap.on_span(payload)
+
+    def export_record(self, record) -> None:
+        self.base.export_record(record)
+        for tap in self.taps:
+            tap.on_record(record)
+
+
 class Observability:
-    """Tracer + metrics + exporter bundle shared by one deployment."""
+    """Tracer + metrics + exporter bundle shared by one deployment.
+
+    ``audit=True`` (implies ``enabled``) additionally streams every
+    finished span and point record through the guarantee auditors of
+    :mod:`repro.obs.audit` and a :class:`FlightRecorder`; a violation
+    or an operation abort then freezes a post-mortem bundle. Auditing
+    only *reads* the stream — the simulation timeline is identical with
+    it on or off.
+    """
 
     def __init__(
         self,
@@ -50,15 +87,47 @@ class Observability:
         enabled: bool = False,
         exporter=None,
         export_path: Optional[str] = None,
+        audit: bool = False,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
+        if audit:
+            enabled = True
         if exporter is None and export_path is not None:
             exporter = JsonLinesExporter(export_path)
         if exporter is None and enabled:
             exporter = InMemoryExporter()
         self.enabled = enabled
         self.exporter = exporter
-        self.tracer = Tracer(sim=sim, exporter=exporter, enabled=enabled)
+        self.audit: Optional[AuditPipeline] = AuditPipeline() if audit else None
+        if audit and recorder is None:
+            recorder = FlightRecorder()
+        self.recorder = recorder
+        # The recorder taps *before* the auditors so that a violation
+        # fired while a span is being exported can already see that span
+        # in the rings when it freezes its bundle.
+        taps = [t for t in (self.recorder, self.audit) if t is not None]
+        tracer_exporter = exporter
+        if taps and exporter is not None:
+            tracer_exporter = _TeeExporter(exporter, taps)
+        self.tracer = Tracer(sim=sim, exporter=tracer_exporter,
+                             enabled=enabled)
         self.metrics = MetricsRegistry()
+        if self.audit is not None and self.recorder is not None:
+            self.audit.on_violation = self._capture_violation
+
+    def _capture_violation(self, violation: Violation) -> None:
+        self.recorder.capture(
+            self,
+            reason="violation",
+            trace_id=violation.trace_id,
+            kind=violation.op_kind,
+            detail=violation.detail,
+            violation=violation,
+        )
+
+    def violations(self) -> List[Violation]:
+        """Finalize the auditors and return every violation found."""
+        return [] if self.audit is None else self.audit.finalize()
 
     def operation(self, sim, report, kind: str, **attrs) -> OperationTrace:
         """Start an :class:`OperationTrace` for one northbound operation."""
@@ -71,7 +140,9 @@ class Observability:
 NULL_OBS = Observability()
 
 __all__ = [
+    "AuditPipeline",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InMemoryExporter",
@@ -83,5 +154,8 @@ __all__ = [
     "OperationTrace",
     "Span",
     "Tracer",
+    "Violation",
+    "render_bundle",
     "render_timeline",
+    "replay_trace",
 ]

@@ -8,17 +8,35 @@ result tables so a trace can be diffed or post-processed offline.
 from __future__ import annotations
 
 import json
+from collections import deque
 from typing import Any, Dict, List, Optional
 
 from repro.obs.span import Span
 
 
 class InMemoryExporter:
-    """Keeps finished spans and point records, in completion order."""
+    """Keeps finished spans and point records, in completion order.
 
-    def __init__(self) -> None:
-        self.spans: List[Span] = []
-        self.records: List[Dict[str, Any]] = []
+    By default both lists grow without bound (the right behaviour for
+    tests and short CLI runs). ``max_spans`` / ``max_records`` switch
+    the corresponding store to a ring that retains only the most recent
+    entries, so a long observed run has bounded memory; the query
+    helpers work identically on either representation.
+    """
+
+    def __init__(
+        self,
+        max_spans: Optional[int] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self.max_spans = max_spans
+        self.max_records = max_records
+        self.spans = (
+            deque(maxlen=max_spans) if max_spans is not None else []
+        )
+        self.records = (
+            deque(maxlen=max_records) if max_records is not None else []
+        )
 
     def export_span(self, span: Span) -> None:
         self.spans.append(span)
@@ -27,8 +45,8 @@ class InMemoryExporter:
         self.records.append(record)
 
     def clear(self) -> None:
-        del self.spans[:]
-        del self.records[:]
+        self.spans.clear()
+        self.records.clear()
 
     # ------------------------------------------------------------------ query
 

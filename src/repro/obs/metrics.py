@@ -18,13 +18,30 @@ Semantics the test suite pins down:
 
 from __future__ import annotations
 
+import re
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
+#: Quantiles included in every histogram snapshot / render.
+PERCENTILES = (50, 90, 99)
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def percentile_of(samples: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(
+        1, int(-(-(q / 100.0) * len(ordered) // 1))  # ceil without math
+    )
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 class _Instrument:
@@ -124,13 +141,20 @@ class Histogram(_Instrument):
         samples = self._series.get(_label_key(labels))
         return sum(samples) / len(samples) if samples else None
 
+    def percentile(self, q: float, **labels: Any) -> Optional[float]:
+        """Nearest-rank percentile of one series (``None`` when empty)."""
+        return percentile_of(self._series.get(_label_key(labels), []), q)
+
     def _snapshot_value(self, value: List[float]) -> Dict[str, float]:
-        return {
+        summary = {
             "count": len(value),
             "sum": sum(value),
             "min": min(value),
             "max": max(value),
         }
+        for q in PERCENTILES:
+            summary["p%d" % q] = percentile_of(value, q)
+        return summary
 
 
 class MetricsRegistry:
@@ -177,3 +201,38 @@ class MetricsRegistry:
             name: {"kind": inst.kind, "series": inst.snapshot()}
             for name, inst in sorted(self._instruments.items())
         }
+
+    def render_prometheus(self) -> str:
+        """Exposition-format text dump of every instrument.
+
+        Counters and gauges render one sample per label set; histograms
+        render as summaries (``{quantile="0.5"}`` …) plus ``_sum`` and
+        ``_count`` samples, all computed with the same nearest-rank
+        percentiles as :meth:`Histogram.snapshot`.
+        """
+        lines: List[str] = []
+        for name, inst in sorted(self._instruments.items()):
+            metric = _NAME_SANITIZE.sub("_", name)
+            lines.append("# TYPE %s %s" % (
+                metric,
+                "summary" if inst.kind == "histogram" else inst.kind,
+            ))
+            for key, value in sorted(inst._series.items()):
+                labels = ",".join('%s="%s"' % kv for kv in key)
+                if inst.kind != "histogram":
+                    lines.append(
+                        "%s{%s} %g" % (metric, labels, value)
+                        if labels else "%s %g" % (metric, value)
+                    )
+                    continue
+                for q in PERCENTILES:
+                    qlabel = 'quantile="%g"' % (q / 100.0)
+                    qlabels = "%s,%s" % (labels, qlabel) if labels else qlabel
+                    lines.append(
+                        "%s{%s} %g"
+                        % (metric, qlabels, percentile_of(value, q))
+                    )
+                suffix = "{%s}" % labels if labels else ""
+                lines.append("%s_sum%s %g" % (metric, suffix, sum(value)))
+                lines.append("%s_count%s %d" % (metric, suffix, len(value)))
+        return "\n".join(lines) + ("\n" if lines else "")

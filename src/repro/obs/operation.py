@@ -8,6 +8,15 @@ the simulated time the span's end is stamped with — so the span tree
 and the report can never disagree, and no caller hand-marks phases with
 an ad-hoc clock.
 
+The trace is also the anchor of causal propagation: the root span's id
+doubles as the operation's ``trace_id``, stamped onto the root, every
+phase span, every southbound RPC issued through a client bound with
+:meth:`bind`, and every buffered-packet record — one id that selects
+the operation's complete causal slice out of a mixed stream. An
+``op.start`` point record announces the operation to streaming
+consumers (the guarantee auditors) the moment it begins, since the root
+span itself is only exported when it *finishes*.
+
 With tracing disabled the same code path runs without allocating any
 :class:`~repro.obs.span.Span` objects: only the (cheap) report marks
 remain, which is the seed behaviour exactly.
@@ -30,6 +39,28 @@ class OperationTrace:
         self.report = report
         self.kind = kind
         self.root = obs.tracer.span(kind, **attrs)
+        #: The operation's causal trace id (``None`` when disabled):
+        #: equal to the root span's id, inherited by everything the
+        #: operation causes.
+        self.trace_id: Optional[int] = self.root.span_id
+        if self.trace_id is not None:
+            self.root.set(trace_id=self.trace_id)
+            # Streaming consumers (auditors, the flight recorder) need
+            # to learn about the operation *now*; the root span only
+            # reaches the exporter when it closes.
+            obs.tracer.record(
+                "op.start", trace_id=self.trace_id, kind=kind, **attrs
+            )
+
+    def bind(self, target: Any) -> Any:
+        """Causally bind a client/switch stub to this operation.
+
+        Calls on the returned proxy run with the root span as the
+        tracer's current cause, so the RPC spans they mint carry this
+        operation's ``trace_id``. Returns ``target`` unchanged when
+        tracing is disabled.
+        """
+        return self.obs.tracer.bind(target, self.root)
 
     def phase(
         self,
@@ -45,6 +76,8 @@ class OperationTrace:
         span-only phases such as structural wrappers. ``parent``
         overrides the root span as the parent (for nested phases).
         """
+        if self.trace_id is not None:
+            attrs.setdefault("trace_id", self.trace_id)
         return _Phase(
             self,
             "%s.%s" % (self.kind, name),
@@ -58,12 +91,36 @@ class OperationTrace:
         self.root.event(name, **attrs)
 
     def finish(self, aborted: Optional[str] = None) -> None:
-        """Close the root span (idempotent), tagging abort causes."""
+        """Close the root span (idempotent), tagging abort causes.
+
+        On abort, the observability bundle's flight recorder (when one
+        is installed) dumps a post-mortem bundle for this operation's
+        causal slice — the recorder only reads its ring buffers, so the
+        simulation timeline is untouched.
+        """
+        already_finished = self.root.finished
         if aborted is not None:
             self.root.set(aborted=aborted)
             if self.root.span_id is not None:
                 self.root.status = "error"
         self.root.finish()
+        if self.trace_id is None or already_finished:
+            return
+        self.obs.tracer.record(
+            "op.end",
+            trace_id=self.trace_id,
+            kind=self.kind,
+            aborted=aborted,
+        )
+        recorder = getattr(self.obs, "recorder", None)
+        if aborted is not None and recorder is not None:
+            recorder.capture(
+                self.obs,
+                reason="abort",
+                trace_id=self.trace_id,
+                kind=self.kind,
+                detail=aborted,
+            )
 
 
 class _Phase:

@@ -15,6 +15,18 @@ Parenting is always explicit (``parent=`` or ``span.child``): the
 simulator interleaves many cooperative processes, so an implicit
 "current span" stack would attach children to whichever process last
 ran. Explicit parents keep the tree deterministic.
+
+Causal linkage crosses component boundaries where structural parenting
+cannot: an operation's driver issues southbound RPCs whose spans are
+minted inside the client, and the NF applies state long after the
+request was sent. Those links travel as the ``trace_id`` / ``cause_id``
+*attributes* instead of ``parent_id``: ``trace_id`` names the
+operation's root span (constant for everything the operation caused),
+``cause_id`` names the immediate causing span. The tracer carries a
+``current_cause`` that is only ever set for the duration of a
+*synchronous* call (via :class:`CausalProxy`), so interleaved operations
+can never steal each other's attribution — the same reasoning that
+rules out an implicit parent stack.
 """
 
 from __future__ import annotations
@@ -182,6 +194,10 @@ class Tracer:
         self.exporter = exporter
         self.enabled = enabled
         self._span_ids = itertools.count(1)
+        #: The span whose synchronous call frame we are currently inside
+        #: (set by :class:`CausalProxy` around each proxied call); spans
+        #: minted while it is set inherit ``trace_id``/``cause_id``.
+        self.current_cause: Optional[Span] = None
 
     @property
     def now(self) -> float:
@@ -192,11 +208,35 @@ class Tracer:
         return next(self._span_ids)
 
     def span(self, name: str, parent: Any = None, **attrs: Any):
-        """Open a span; returns :data:`NULL_SPAN` when disabled."""
+        """Open a span; returns :data:`NULL_SPAN` when disabled.
+
+        A span minted while :attr:`current_cause` is set (i.e. inside a
+        :class:`CausalProxy` call) inherits the cause's ``trace_id`` and
+        records the cause's span id as its ``cause_id``, unless the
+        caller already supplied a ``trace_id`` of its own.
+        """
         if not self.enabled:
             return NULL_SPAN
         parent_id = parent.span_id if isinstance(parent, Span) else None
-        return Span(self, name, parent_id, attrs)
+        span = Span(self, name, parent_id, attrs)
+        cause = self.current_cause
+        if cause is not None and "trace_id" not in span.attrs:
+            span.attrs["trace_id"] = cause.attrs.get(
+                "trace_id", cause.span_id
+            )
+            span.attrs["cause_id"] = cause.span_id
+        return span
+
+    def bind(self, target: Any, cause: Any) -> Any:
+        """Wrap ``target`` so its method calls run under ``cause``.
+
+        Returns ``target`` unchanged when tracing is disabled (or the
+        cause is the null span), keeping the disabled path allocation-
+        free and byte-identical.
+        """
+        if not self.enabled or cause is None or cause.span_id is None:
+            return target
+        return CausalProxy(target, self, cause)
 
     def record(self, name: str, **attrs: Any) -> None:
         """Emit a standalone point record (no span) to the exporter."""
@@ -209,3 +249,49 @@ class Tracer:
     def _export(self, span: Span) -> None:
         if self.exporter is not None:
             self.exporter.export_span(span)
+
+
+class CausalProxy:
+    """Transparent wrapper that scopes calls to a causing span.
+
+    Operations bind their southbound clients (and the switch client)
+    with :meth:`Tracer.bind`; every method call on the proxy then runs
+    with :attr:`Tracer.current_cause` set to the operation's root span
+    for exactly the duration of the (synchronous) call. RPC request
+    issuance happens inside that window, so the spans the clients mint
+    pick up the correct ``trace_id``/``cause_id`` even when several
+    operations interleave on the simulator — the cause is never left set
+    across a yield.
+
+    Attribute reads pass through untouched, so ``client.nf``,
+    ``client.stats``, ``client.name`` etc. behave exactly as before.
+    """
+
+    __slots__ = ("_target", "_tracer", "_cause")
+
+    def __init__(self, target: Any, tracer: Tracer, cause: Span) -> None:
+        self._target = target
+        self._tracer = tracer
+        self._cause = cause
+
+    def __getattr__(self, name: str) -> Any:
+        value = getattr(self._target, name)
+        if not callable(value) or isinstance(value, type):
+            return value
+        tracer = self._tracer
+        cause = self._cause
+
+        def scoped(*args: Any, **kwargs: Any) -> Any:
+            previous = tracer.current_cause
+            tracer.current_cause = cause
+            try:
+                return value(*args, **kwargs)
+            finally:
+                tracer.current_cause = previous
+
+        return scoped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<CausalProxy %r cause=#%s>" % (
+            self._target, self._cause.span_id
+        )

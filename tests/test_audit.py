@@ -1,0 +1,359 @@
+"""Online guarantee auditors, flight recorder, and ``repro audit``.
+
+The auditors watch the span/record stream and verify the §5.1
+guarantees *while the run happens*: every OpenNF loss-free move —
+including under injected control-plane faults and with batching — must
+audit clean, while the Split/Merge baseline (which genuinely drops
+in-flight packets, §2.2) must produce loss violations naming the exact
+flow and dropped-packet spans. A forced mid-move abort must freeze a
+post-mortem flight-recorder bundle containing the operation's causal
+slice. Auditing is read-only: the simulated timeline is identical with
+it on or off.
+"""
+
+import json
+
+import pytest
+
+from repro.baselines import SplitMergeMigrate
+from repro.cli import main as cli_main
+from repro.harness import LOCAL_NET_FILTER, run_move_experiment
+from repro.obs import (
+    AuditPipeline,
+    InMemoryExporter,
+    render_bundle,
+    replay_trace,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def splitmerge_operation(dep):
+    return SplitMergeMigrate(
+        dep.controller, "inst1", "inst2", LOCAL_NET_FILTER
+    )
+
+
+def normalized_timeline(result):
+    """Timeline fingerprint with run-relative packet uids.
+
+    Packet uids come from a process-global counter, so absolute uids
+    differ between two runs in one test process; rebasing on the first
+    injected uid makes runs with identical behaviour compare equal.
+    """
+    base = result.replayer.injected[0].uid
+    return (
+        [(p.uid - base, p.flow_key()) for p in result.replayer.injected],
+        sorted(
+            (uid - base, count)
+            for uid, count in
+            result.deployment.processed_uid_counts().items()
+        ),
+        result.report.duration_ms,
+        result.report.retries,
+        result.latency.average_added_ms,
+        result.latency.max_added_ms,
+    )
+
+
+class TestLossFreeMovesAuditClean:
+    @pytest.mark.parametrize("guarantee", ["lf", "op", "op-strong"])
+    def test_opennf_moves_have_zero_violations(self, guarantee):
+        result = run_move_experiment(
+            guarantee=guarantee, n_flows=40, seed=5, audit=True
+        )
+        assert result.report.aborted is None
+        assert result.deployment.obs.violations() == []
+
+    def test_clean_under_faults_with_retries(self):
+        result = run_move_experiment(
+            guarantee="op", n_flows=40, seed=5, audit=True,
+            fault_plan="seed=3,drop=0.05",
+        )
+        assert result.report.aborted is None
+        assert result.report.retries > 0
+        assert result.deployment.obs.violations() == []
+
+    def test_clean_with_batched_transport(self):
+        result = run_move_experiment(
+            guarantee="lf", n_flows=40, seed=5, audit=True, batching=True
+        )
+        assert result.report.aborted is None
+        assert result.deployment.obs.violations() == []
+
+    @pytest.mark.parametrize("drop", [0.0, 0.03, 0.08])
+    def test_loss_sweep_zero_violations_and_identical_timeline(self, drop):
+        plan = "seed=11,drop=%s" % drop if drop else None
+        plain = run_move_experiment(
+            guarantee="op", n_flows=30, seed=9, fault_plan=plan
+        )
+        audited = run_move_experiment(
+            guarantee="op", n_flows=30, seed=9, fault_plan=plan, audit=True
+        )
+        assert audited.deployment.obs.violations() == []
+        assert normalized_timeline(plain) == normalized_timeline(audited)
+
+
+class TestBaselinesViolate:
+    def test_splitmerge_reports_loss_with_flow_and_spans(self):
+        result = run_move_experiment(
+            operation=splitmerge_operation, n_flows=60, rate_pps=6000.0,
+            audit=True,
+        )
+        assert result.report.packets_dropped > 0
+        violations = result.deployment.obs.violations()
+        loss = [v for v in violations if v.check == "loss-free"]
+        assert len(loss) == result.report.packets_dropped
+        # Each violation names the dropped packet's flow and cites its
+        # nf.drop span; cross-check against the exported spans.
+        drops = {
+            s.span_id: s
+            for s in result.deployment.obs.exporter.find("nf.drop")
+        }
+        for violation in loss:
+            assert violation.op_kind == "splitmerge-migrate"
+            (span_id,) = violation.span_ids
+            span = drops[span_id]
+            assert span.attrs["flow"] == violation.flow
+            assert "uid=%s" % span.attrs["uid"] in violation.detail
+
+    def test_ng_move_loss_matches_report(self):
+        result = run_move_experiment(
+            guarantee="ng", n_flows=40, seed=3, audit=True
+        )
+        violations = result.deployment.obs.violations()
+        assert len(violations) == result.report.packets_dropped > 0
+        assert all(v.check == "loss-free" for v in violations)
+
+    def test_violation_matches_ground_truth_uids(self):
+        result = run_move_experiment(
+            guarantee="ng", n_flows=30, seed=7, audit=True
+        )
+        counts = result.deployment.processed_uid_counts()
+        missing = {
+            p.uid for p in result.replayer.injected if p.uid not in counts
+        }
+        cited = {
+            int(v.detail.split("uid=")[1].split(" ")[0])
+            for v in result.deployment.obs.violations()
+        }
+        assert cited == missing
+
+
+class TestSyntheticStreams:
+    """Unit-level checks of the auditor state machines."""
+
+    @staticmethod
+    def _start(pipeline, trace_id=1, kind="move", guarantee="loss-free",
+               src="inst1", dst="inst2", t=0.0):
+        pipeline.on_record({
+            "name": "op.start", "time_ms": t, "trace_id": trace_id,
+            "kind": kind, "guarantee": guarantee, "src": src, "dst": dst,
+        })
+
+    @staticmethod
+    def _close(pipeline, trace_id=1, t=100.0, aborted=None):
+        attrs = {"trace_id": trace_id}
+        if aborted:
+            attrs["aborted"] = aborted
+        pipeline.on_span({
+            "name": "move", "span_id": trace_id, "parent_id": None,
+            "start_ms": 0.0, "end_ms": t, "status": "ok", "attrs": attrs,
+        })
+
+    def test_evented_drop_resolved_by_processing(self):
+        pipeline = AuditPipeline()
+        self._start(pipeline)
+        pipeline.on_span({
+            "name": "nf.drop", "span_id": 7, "start_ms": 5.0, "end_ms": 5.0,
+            "attrs": {"nf": "inst1", "uid": 42, "flow": "f", "silent": False},
+        })
+        pipeline.on_record({
+            "name": "nf.process", "time_ms": 9.0, "nf": "inst2",
+            "uid": 42, "flow": "f",
+        })
+        self._close(pipeline)
+        assert pipeline.finalize() == []
+
+    def test_unresolved_capture_is_loss(self):
+        pipeline = AuditPipeline()
+        self._start(pipeline)
+        pipeline.on_record({
+            "name": "ctrl.buffer", "time_ms": 5.0, "trace_id": 1,
+            "uid": 42, "flow": "f", "where": "redirect",
+        })
+        self._close(pipeline)
+        (violation,) = pipeline.finalize()
+        assert violation.check == "loss-free"
+        assert "never processed" in violation.detail
+
+    def test_double_processing_is_duplicate(self):
+        pipeline = AuditPipeline()
+        self._start(pipeline)
+        pipeline.on_record({"name": "nf.buffer", "time_ms": 4.0,
+                            "nf": "inst2", "uid": 42, "flow": "f"})
+        for t in (6.0, 8.0):
+            pipeline.on_record({"name": "nf.process", "time_ms": t,
+                                "nf": "inst2", "uid": 42, "flow": "f"})
+        self._close(pipeline)
+        (violation,) = pipeline.finalize()
+        assert "more than once" in violation.detail
+
+    def test_order_regression_detected(self):
+        pipeline = AuditPipeline()
+        self._start(pipeline, guarantee="loss-free order-preserving")
+        for t, uid in ((5.0, 10), (6.0, 12), (7.0, 11)):
+            pipeline.on_record({"name": "nf.process", "time_ms": t,
+                                "nf": "inst2", "uid": uid, "flow": "f"})
+        self._close(pipeline)
+        violations = pipeline.finalize()
+        assert any(v.check == "order-preserving" for v in violations)
+
+    def test_state_imbalance_detected(self):
+        pipeline = AuditPipeline()
+        self._start(pipeline)
+        pipeline.on_record({"name": "nf.chunk.export", "time_ms": 5.0,
+                            "nf": "inst1", "scope": "perflow",
+                            "key": "k1", "bytes": 100})
+        self._close(pipeline)
+        violations = pipeline.finalize()
+        assert any(v.check == "state-conservation" for v in violations)
+
+    def test_share_overlap_detected(self):
+        pipeline = AuditPipeline()
+        self._start(pipeline, kind="share", guarantee="strong")
+        for span_id, (start, end) in ((5, (10.0, 14.0)), (6, (12.0, 16.0))):
+            pipeline.on_span({
+                "name": "share.update", "span_id": span_id,
+                "start_ms": start, "end_ms": end,
+                "attrs": {"trace_id": 1, "group": "h", "nf": "inst1"},
+            })
+        violations = pipeline.finalize()
+        assert any(v.check == "share-serialization" for v in violations)
+
+
+class TestFlightRecorder:
+    def _aborted_run(self, **kwargs):
+        def operation(dep):
+            op = dep.controller.move(
+                "inst1", "inst2", LOCAL_NET_FILTER, guarantee="lf"
+            )
+            dep.sim.schedule(6.0, op.abort, "operator cancelled")
+            return op
+
+        return run_move_experiment(
+            n_flows=80, rate_pps=5000.0, seed=3, operation=operation,
+            audit=True, **kwargs
+        )
+
+    def test_abort_freezes_bundle_with_causal_slice(self):
+        result = self._aborted_run()
+        assert "operator cancelled" in result.report.aborted
+        recorder = result.deployment.obs.recorder
+        bundles = [b for b in recorder.bundles if b["reason"] == "abort"]
+        assert len(bundles) == 1
+        bundle = bundles[0]
+        spans = bundle["causal_slice"]["spans"]
+        records = bundle["causal_slice"]["records"]
+        # The operation's root span is in the slice...
+        assert any(
+            s["name"] == "move"
+            and s["attrs"].get("trace_id") == s["span_id"]
+            for s in spans
+        )
+        # ...alongside southbound RPC spans and buffered-packet records.
+        assert any(s["name"].startswith("sb.") for s in spans)
+        assert any(r["name"] == "ctrl.buffer" for r in records)
+        assert bundle["metrics"]  # a full metrics snapshot rides along
+
+    def test_violation_bundle_cites_drop_span(self):
+        result = run_move_experiment(
+            operation=splitmerge_operation, n_flows=40, rate_pps=6000.0,
+            audit=True,
+        )
+        recorder = result.deployment.obs.recorder
+        # One bundle per (check, operation), not one per dropped packet.
+        assert len(recorder.bundles) == 1
+        bundle = recorder.bundles[0]
+        assert bundle["reason"] == "violation"
+        cited = bundle["violation"]["span_ids"]
+        slice_ids = [
+            s["span_id"] for s in bundle["causal_slice"]["spans"]
+        ]
+        assert set(cited) <= set(slice_ids)
+
+    def test_render_and_cli(self, tmp_path, capsys):
+        result = self._aborted_run()
+        bundle = result.deployment.obs.recorder.bundles[0]
+        text = render_bundle(bundle)
+        assert "reason=abort" in text
+        assert "causal slice" in text
+        path = tmp_path / "bundle.json"
+        path.write_text(json.dumps(bundle, sort_keys=True))
+        assert cli_main(["audit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flight-recorder bundle" in out
+        assert "operator cancelled" in out
+
+
+class TestReplay:
+    def test_replay_agrees_with_live(self, tmp_path):
+        path = str(tmp_path / "run.trace.jsonl")
+        result = run_move_experiment(
+            guarantee="ng", n_flows=30, seed=7, audit=True,
+            deployment_kwargs={"observe": True},
+        )
+        obs = result.deployment.obs
+        live = obs.violations()
+        assert live
+        with open(path, "w") as handle:
+            for span in obs.exporter.spans:
+                handle.write(json.dumps(
+                    dict(span.to_dict(), type="span")) + "\n")
+            for record in obs.exporter.records:
+                handle.write(json.dumps(
+                    dict(record, type="record")) + "\n")
+        replayed = replay_trace(path)
+        assert ([v.to_dict() for v in replayed.violations]
+                == [v.to_dict() for v in live])
+
+    def test_cli_replay_flags_violations(self, tmp_path, capsys):
+        path = str(tmp_path / "run.trace.jsonl")
+        result = run_move_experiment(guarantee="ng", n_flows=20, seed=3,
+                                     audit=True)
+        obs = result.deployment.obs
+        with open(path, "w") as handle:
+            for span in obs.exporter.spans:
+                handle.write(json.dumps(
+                    dict(span.to_dict(), type="span")) + "\n")
+            for record in obs.exporter.records:
+                handle.write(json.dumps(
+                    dict(record, type="record")) + "\n")
+        assert cli_main(["audit", path]) == 1
+        assert "LOSS-FREE" in capsys.readouterr().out
+
+
+class TestExporterRing:
+    def test_unbounded_by_default(self):
+        exporter = InMemoryExporter()
+        assert isinstance(exporter.spans, list)
+
+    def test_ring_keeps_most_recent(self):
+        exporter = InMemoryExporter(max_spans=3, max_records=2)
+        for index in range(5):
+            exporter.export_record({"name": "r", "i": index})
+        assert [r["i"] for r in exporter.records] == [3, 4]
+        exporter.clear()
+        assert len(exporter.records) == 0
+
+    def test_ring_querying_still_works(self):
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True,
+                            exporter=InMemoryExporter(max_spans=10))
+        for index in range(15):
+            obs.tracer.span("x", i=index).finish()
+        assert len(obs.exporter.spans) == 10
+        found = obs.exporter.find("x")
+        assert len(found) == 10
+        assert found[0].attrs["i"] == 5

@@ -81,8 +81,39 @@ class TestHistogram:
         hist.observe(1.0, op="put")
         hist.observe(3.0, op="put")
         assert hist.snapshot() == {
-            "op=put": {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+            "op=put": {
+                "count": 2, "sum": 4.0, "min": 1.0, "max": 3.0,
+                "p50": 1.0, "p90": 3.0, "p99": 3.0,
+            }
         }
+
+    def test_percentiles_nearest_rank(self):
+        hist = MetricsRegistry().histogram("rpc_ms")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(90) == 90.0
+        assert hist.percentile(99) == 99.0
+        assert hist.percentile(100) == 100.0
+        assert hist.percentile(50, op="missing") is None
+
+    def test_render_prometheus(self):
+        registry = MetricsRegistry()
+        registry.counter("pkts.total").inc(3, nf="a")
+        registry.gauge("depth").set(2)
+        hist = registry.histogram("rpc_ms")
+        hist.observe(1.0, op="put")
+        hist.observe(3.0, op="put")
+        text = registry.render_prometheus()
+        assert "# TYPE pkts_total counter" in text
+        assert 'pkts_total{nf="a"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text
+        assert "# TYPE rpc_ms summary" in text
+        assert 'rpc_ms{op="put",quantile="0.5"} 1' in text
+        assert 'rpc_ms{op="put",quantile="0.99"} 3' in text
+        assert 'rpc_ms_sum{op="put"} 4' in text
+        assert 'rpc_ms_count{op="put"} 2' in text
 
 
 class TestRegistry:
