@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-obs test-faults bench bench-smoke bench-scale examples validate clean results
+.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,13 @@ test-obs:
 
 test-faults:
 	$(PYTHON) -m pytest tests/ -m faults
+
+test-conformance:
+	$(PYTHON) -m pytest tests/ -m conformance
+
+conform:
+	$(PYTHON) -m repro.cli conform
+	$(PYTHON) -m repro.cli conform --replay tests/corpus
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -10,6 +10,11 @@ Usage::
     python -m repro.cli audit bundle.json
     python -m repro.cli metrics --guarantee op --filter sb
     python -m repro.cli validate --seeds 5
+    python -m repro.cli conform
+    python -m repro.cli conform --nf ids --guarantee strong-share
+    python -m repro.cli conform tests/corpus/abort-racing-put.schedule.json
+    python -m repro.cli conform --replay tests/corpus
+    python -m repro.cli conform --hunt splitmerge --corpus-dir tests/corpus
     python -m repro.cli version
 
 ``demo-move`` runs one instrumented move between two PRADS-like
@@ -159,8 +164,44 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="PREFIX",
                          help="only print metrics whose name starts here")
 
+    conform = sub.add_parser(
+        "conform",
+        help="run the verified-migration conformance kit: the NF × "
+             "guarantee matrix, one schedule file, a corpus replay, or "
+             "a counterexample hunt",
+    )
+    conform.add_argument("schedule", nargs="?", default=None,
+                         metavar="SCHEDULE",
+                         help="a .schedule.json file to run once "
+                              "(omit for the full matrix)")
+    conform.add_argument("--nf", default=None, metavar="NAME",
+                         help="matrix: only this NF (monitor, ids, nat, "
+                              "proxy, lb, re-encoder, re-decoder)")
+    conform.add_argument("--guarantee", default=None, metavar="LEVEL",
+                         help="matrix: only this level (ng, lf, lf+op, "
+                              "strong-share)")
+    conform.add_argument("--replay", metavar="DIR", default=None,
+                         help="replay every corpus entry in DIR instead "
+                              "of running the matrix")
+    conform.add_argument("--hunt", choices=sorted_hunt_targets(),
+                         default=None,
+                         help="search + shrink a counterexample for a "
+                              "known-defective path instead of the matrix")
+    conform.add_argument("--corpus-dir", metavar="DIR", default=None,
+                         help="with --hunt: persist the shrunk "
+                              "counterexample as a corpus entry here")
+    conform.add_argument("--verbose", action="store_true",
+                         help="print every matrix cell, not just "
+                              "failures and the summary")
+
     sub.add_parser("version", help="print the package version")
     return parser
+
+
+def sorted_hunt_targets() -> List[str]:
+    from repro.conformance.corpus import HUNT_TARGETS
+
+    return sorted(HUNT_TARGETS)
 
 
 def _fault_plan_from(spec: Optional[str]):
@@ -395,6 +436,116 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_conform(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.conformance import (
+        hunt_counterexample,
+        load_corpus,
+        matrix_cells,
+        replay_entry,
+        run_cell,
+        run_schedule,
+        save_entry,
+    )
+    from repro.conformance.schedule import ScheduleSpec
+
+    if args.hunt is not None:
+        try:
+            spec, result = hunt_counterexample(args.hunt)
+        except Exception as exc:  # NoSuchExample: the defect went away
+            print("repro conform: hunt for %r found no counterexample: %s"
+                  % (args.hunt, exc), file=sys.stderr)
+            return 1
+        print("shrunk counterexample for %r:" % args.hunt)
+        print(spec.to_json())
+        print(result.summary())
+        for violation in result.violations[:5]:
+            print("  " + violation.render())
+        if args.corpus_dir:
+            entry = save_entry(
+                args.corpus_dir, "%s-hunt" % args.hunt, spec, result,
+                expect="dirty",
+                description="shrunk via `repro conform --hunt %s`"
+                            % args.hunt,
+            )
+            print("saved %s + %s" % (entry.schedule_path, entry.trace_path))
+        return 0
+
+    if args.replay is not None:
+        entries = load_corpus(args.replay)
+        if not entries:
+            print("repro conform: no corpus entries under %s" % args.replay,
+                  file=sys.stderr)
+            return 2
+        failures = 0
+        for entry in entries:
+            outcome = replay_entry(entry)
+            status = "ok" if outcome.ok else "FAIL"
+            print("%-30s expect=%-5s -> %s" % (entry.name, entry.expect,
+                                               status))
+            for problem in outcome.problems:
+                failures += 1
+                print("    " + problem)
+        if failures:
+            print("%d corpus replay problem(s)" % failures)
+            return 1
+        print("all %d corpus entries replay as expected" % len(entries))
+        return 0
+
+    if args.schedule is not None:
+        try:
+            with open(args.schedule) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print("repro conform: error: %s" % exc, file=sys.stderr)
+            return 2
+        spec = ScheduleSpec.from_dict(data.get("schedule", data))
+        result = run_schedule(spec)
+        print(result.summary())
+        for violation in result.violations:
+            print("  " + violation.render())
+        for prop_failure in result.property_failures:
+            print("  " + prop_failure.render())
+        if not result.loss_free:
+            print("  [ground-truth] loss-free: %s" % result.loss_free_detail)
+        return 0 if result.ok else 1
+
+    # Default: the full NF × guarantee × faults × batching matrix.
+    cells = matrix_cells()
+    if args.nf is not None:
+        cells = [c for c in cells if c.nf == args.nf]
+    if args.guarantee is not None:
+        cells = [c for c in cells if c.guarantee == args.guarantee]
+    if not cells:
+        print("repro conform: no matrix cells match the filters",
+              file=sys.stderr)
+        return 2
+    failed = []
+    expected_dirty = 0
+    for cell in cells:
+        result = run_cell(cell)
+        if result.clean:
+            if args.verbose:
+                print("%-40s clean" % cell.label())
+        elif result.expected_dirty:
+            expected_dirty += 1
+            print("%-40s dirty (expected: %s)"
+                  % (cell.label(), ",".join(result.check_kinds()) or "-"))
+        else:
+            failed.append((cell, result))
+            print("%-40s DIRTY checks=%s"
+                  % (cell.label(), ",".join(result.check_kinds())))
+            for violation in result.violations[:3]:
+                print("    " + violation.render())
+            for prop_failure in result.property_failures[:3]:
+                print("    " + prop_failure.render())
+    print("%d cells: %d clean, %d expected-dirty, %d FAILED"
+          % (len(cells), len(cells) - expected_dirty - len(failed),
+             expected_dirty, len(failed)))
+    return 1 if failed else 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     result = run_move_experiment(
         guarantee=args.guarantee,
@@ -458,6 +609,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_audit(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "conform":
+        return _cmd_conform(args)
     return 2
 
 

@@ -118,6 +118,8 @@ class ShareOperation(Operation):
         self._interest_handles: List[int] = []
         self._redirected_entries: List[Tuple[Filter, int, Tuple[str, ...]]] = []
         self._stopping = False
+        #: Teardown waits here until every serialization queue drains.
+        self._drain_waiters: List[Any] = []
         self.process = self.sim.spawn(self._setup(), name="share-op")
 
     # -------------------------------------------------------------------- setup
@@ -343,6 +345,20 @@ class ShareOperation(Operation):
                         "ctrl.share.updates_skipped"
                     ).inc(1, nf=origin_name)
         self._group_busy[key] = False
+        self._notify_drained()
+
+    def _serialization_idle(self) -> bool:
+        return (
+            not self._awaiting
+            and not any(self._queues.values())
+            and not any(self._group_busy.values())
+        )
+
+    def _notify_drained(self) -> None:
+        if self._drain_waiters and self._serialization_idle():
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for waiter in waiters:
+                waiter.trigger()
 
     # --------------------------------------------------------------------- stop
 
@@ -362,6 +378,15 @@ class ShareOperation(Operation):
         return self.stop()
 
     def _teardown(self):
+        # Drain first: captured packets sitting in the serialization
+        # queues (or re-sent and awaiting their PROCESS event) still
+        # need the event interests below to complete. Tearing those
+        # down early strands the packets — a real loss the conformance
+        # kit's mid-stream-stop schedules caught.
+        while not self._serialization_idle():
+            waiter = self.sim.event("share-drain")
+            self._drain_waiters.append(waiter)
+            yield waiter
         for handle in self._interest_handles:
             self.controller.remove_interest(handle)
         acks = [

@@ -132,6 +132,36 @@ class Deployment:
         """Entry point for generated traffic (the switch's ingress)."""
         self.switch.inject(packet)
 
+    # ------------------------------------------------- schedule-injection hooks
+
+    def call_at(self, at_ms: float, fn, *args) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``at_ms``.
+
+        Times already in the past run immediately (delay 0). This is the
+        seam the conformance kit's schedule runner drives: operations,
+        aborts, and share teardowns are placed on the timeline with it.
+        """
+        self.sim.schedule(max(0.0, at_ms - self.sim.now), fn, *args)
+
+    def inject_at(self, at_ms: float, packets) -> None:
+        """Inject packets at absolute time ``at_ms``.
+
+        ``packets`` is either an iterable of pre-built packets or a
+        zero-arg callable returning one. Prefer the callable form when
+        uids must be minted in injection order (packet uids are a global
+        monotonic counter, and the order auditor reads per-flow uid
+        order as arrival order).
+        """
+
+        def deliver() -> None:
+            batch = packets() if callable(packets) else packets
+            if isinstance(batch, Packet):
+                batch = [batch]
+            for packet in batch:
+                self.inject(packet)
+
+        self.call_at(at_ms, deliver)
+
     # ------------------------------------------------------------------ metrics
 
     def processed_events(self) -> List[Tuple[float, int, str]]:

@@ -19,6 +19,11 @@ trusted inside move/copy/share:
     eventual-consistency pattern of §5.2.1 to converge).
 5.  **Wildcard totality** — a wildcard filter enumerates at least as
     much as any specific filter.
+6.  **At-most-once replay** — a retried ``put`` delivered through the
+    reliable-RPC dedup layer (``rpc_deliver``/``rpc_complete``) must
+    not re-apply state: per-flow import is merge-based (counters would
+    double), so the fault-tolerant control plane depends on the NF
+    honouring request-id dedup.
 
 Use :func:`check_nf_conformance` in a test::
 
@@ -46,6 +51,8 @@ class ConformanceReport:
     failures: List[str] = field(default_factory=list)
     #: scope -> number of chunks exercised
     chunks_seen: dict = field(default_factory=dict)
+    #: scope values for which the at-most-once replay check ran.
+    replay_scopes: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -160,6 +167,44 @@ def check_nf_conformance(
                         "multiflow: double import of %r is not idempotent"
                         % (identity,),
                     )
+
+        # At-most-once replay: deliver the same put twice through the
+        # reliable-RPC dedup layer; the retry must be absorbed, not
+        # re-applied (merge-based imports would double their counters).
+        if exported:
+            replay_target = factory(sim, "conformance-replay")
+            request_id = 9000 + len(report.replay_scopes)
+
+            def apply_put(target=replay_target, chunks=tuple(exported),
+                          rid=request_id):
+                for chunk in chunks:
+                    target.import_chunk(chunk)
+                target.rpc_complete(rid, lambda: None)
+
+            replay_target.rpc_deliver(request_id, apply_put)
+            once = {}
+            for key in replay_target.state_keys(scope, wildcard):
+                chunk = replay_target.export_chunk(scope, key)
+                if chunk is not None:
+                    once[_chunk_identity(chunk)] = chunk.data
+            deduped_before = replay_target.rpcs_deduplicated
+            replay_target.rpc_deliver(request_id, apply_put)  # the retry
+            report._check(
+                replay_target.rpcs_deduplicated == deduped_before + 1,
+                "%s: replayed request id was not counted as deduplicated"
+                % scope.value,
+            )
+            twice = {}
+            for key in replay_target.state_keys(scope, wildcard):
+                chunk = replay_target.export_chunk(scope, key)
+                if chunk is not None:
+                    twice[_chunk_identity(chunk)] = chunk.data
+            report._check(
+                twice == once,
+                "%s: a deduplicated put replay still mutated state"
+                % scope.value,
+            )
+            report.replay_scopes.append(scope.value)
 
         # Delete completeness (per-flow and multi-flow only: all-flows
         # state "is always relevant", §4.2 — there is no delAllflows).

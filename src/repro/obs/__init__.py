@@ -31,7 +31,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.obs.audit import AuditPipeline, Violation, replay_trace
+from repro.obs.audit import (
+    AuditPipeline,
+    Violation,
+    load_trace_entries,
+    replay_trace,
+)
 from repro.obs.export import (
     InMemoryExporter,
     JsonLinesExporter,
@@ -155,6 +160,7 @@ __all__ = [
     "Span",
     "Tracer",
     "Violation",
+    "load_trace_entries",
     "render_bundle",
     "render_timeline",
     "replay_trace",

@@ -36,6 +36,7 @@ are attributed to the innermost open operation involving that NF.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 #: Operation kinds whose window intercepts live packets (and must
@@ -472,6 +473,10 @@ class AuditPipeline:
         self.registry = OpRegistry()
         self.violations: List[Violation] = []
         self.on_violation: Optional[Callable[[Violation], None]] = None
+        #: Filled by :func:`replay_trace`: one message per trace entry
+        #: that could not be fed to the auditors (malformed JSON line,
+        #: unknown entry type). Live runs never populate it.
+        self.skipped_entries: List[str] = []
         self._finalized = False
         emit = self._emit
         self.auditors: List[_Auditor] = [
@@ -512,6 +517,57 @@ class AuditPipeline:
         return [v for v in self.violations if v.trace_id == trace_id]
 
 
+def load_trace_entries(path: str) -> Tuple[List[Tuple[float, str, dict]], List[str]]:
+    """Parse a ``.trace.jsonl`` into time-sorted (time, kind, payload) entries.
+
+    Robust against real-world trace files: a truncated/partial JSONL
+    line (a run killed mid-write) or an entry of an unknown kind is
+    *skipped with a warning*, never a crash — the remaining entries are
+    still auditable. Returns ``(entries, skipped)`` where ``skipped``
+    holds one human-readable message per unusable line. An empty file
+    yields ``([], [])``.
+    """
+    entries: List[Tuple[float, str, dict]] = []
+    skipped: List[str] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                skipped.append(
+                    "%s:%d: malformed JSONL line (truncated write?)"
+                    % (path, lineno)
+                )
+                continue
+            if not isinstance(entry, dict):
+                skipped.append(
+                    "%s:%d: entry is not an object" % (path, lineno)
+                )
+                continue
+            kind = entry.pop("type", None)
+            if kind == "span":
+                entries.append((entry.get("end_ms") or 0.0, "span", entry))
+            elif kind == "record":
+                entries.append((entry.get("time_ms") or 0.0, "record", entry))
+            else:
+                skipped.append(
+                    "%s:%d: unknown entry kind %r (expected span/record)"
+                    % (path, lineno, kind)
+                )
+    if skipped:
+        warnings.warn(
+            "trace %s: skipped %d unusable entr%s (first: %s)"
+            % (path, len(skipped), "y" if len(skipped) == 1 else "ies",
+               skipped[0]),
+            stacklevel=2,
+        )
+    entries.sort(key=lambda item: item[0])
+    return entries, skipped
+
+
 def replay_trace(path: str) -> AuditPipeline:
     """Run the auditors over a ``.trace.jsonl`` file post-hoc.
 
@@ -520,22 +576,13 @@ def replay_trace(path: str) -> AuditPipeline:
     not always interleaved that way (``repro trace --json`` writes all
     spans, then all records), so replay stable-sorts entries by their
     delivery time first — a no-op for an already-interleaved stream —
-    and then reuses the streaming code path unchanged.
+    and then reuses the streaming code path unchanged. Unusable lines
+    (truncated JSONL, unknown entry kinds) are skipped with a warning
+    and listed on the returned pipeline's ``skipped_entries``.
     """
-    entries = []
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            entry = json.loads(line)
-            kind = entry.pop("type", None)
-            if kind == "span":
-                entries.append((entry.get("end_ms") or 0.0, "span", entry))
-            elif kind == "record":
-                entries.append((entry.get("time_ms") or 0.0, "record", entry))
-    entries.sort(key=lambda item: item[0])
+    entries, skipped = load_trace_entries(path)
     pipeline = AuditPipeline()
+    pipeline.skipped_entries = skipped
     for _time, kind, entry in entries:
         if kind == "span":
             pipeline.on_span(entry)

@@ -2,13 +2,40 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.flowspace import Filter, FiveTuple
 from repro.harness import Deployment
 from repro.net.packet import Packet, reset_uid_counter
 from repro.nfs.monitor import AssetMonitor
 from repro.sim import Simulator
+
+# Hypothesis profiles shared by every property test (test_properties,
+# test_stateful_properties, test_strong_op, test_conform_kit). Tests
+# override only what genuinely differs (example counts, step counts);
+# the simulation-friendly baseline — no wall-clock deadline, no
+# too-slow/data-too-large health-check noise — lives here once.
+#
+# * ``ci`` (default): few examples, derandomized for reproducible runs,
+#   no example database — what the GitHub Actions job uses.
+# * ``dev``: more examples with fresh randomness each run — what a
+#   local bug hunt wants. Select with HYPOTHESIS_PROFILE=dev.
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+settings.register_profile(
+    "ci", max_examples=25, derandomize=True, database=None, **_COMMON
+)
+settings.register_profile("dev", max_examples=150, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(autouse=True)

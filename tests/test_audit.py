@@ -333,6 +333,64 @@ class TestReplay:
         assert "LOSS-FREE" in capsys.readouterr().out
 
 
+class TestReplayEdgeCases:
+    """Trace replay must degrade gracefully on damaged inputs."""
+
+    def _dirty_trace_lines(self):
+        result = run_move_experiment(guarantee="ng", n_flows=20, seed=3,
+                                     audit=True)
+        obs = result.deployment.obs
+        assert obs.violations()
+        lines = [json.dumps(dict(span.to_dict(), type="span"))
+                 for span in obs.exporter.spans]
+        lines.extend(json.dumps(dict(record, type="record"))
+                     for record in obs.exporter.records)
+        return lines
+
+    def test_empty_trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.trace.jsonl")
+        open(path, "w").close()
+        pipeline = replay_trace(path)
+        assert pipeline.violations == []
+        assert pipeline.skipped_entries == []
+        # The CLI refuses an empty file loudly rather than reporting a
+        # (vacuously) clean audit.
+        assert cli_main(["audit", path]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_truncated_line_skipped_with_warning(self, tmp_path):
+        lines = self._dirty_trace_lines()
+        # Simulate a torn write: chop the middle line in half.
+        middle = len(lines) // 2
+        lines[middle] = lines[middle][: len(lines[middle]) // 2]
+        path = str(tmp_path / "torn.trace.jsonl")
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.warns(UserWarning, match="skipped 1"):
+            pipeline = replay_trace(path)
+        assert len(pipeline.skipped_entries) == 1
+        assert "truncated" in pipeline.skipped_entries[0]
+        # The surviving lines still audit: the NG move's losses show.
+        assert pipeline.violations
+
+    def test_unknown_entry_kinds_skipped_not_crashed(self, tmp_path):
+        lines = self._dirty_trace_lines()
+        extra = [
+            json.dumps({"type": "metric", "name": "future-format"}),
+            json.dumps({"type": "annotation", "note": "hi"}),
+            json.dumps(["not", "a", "dict"]),
+        ]
+        path = str(tmp_path / "newer.trace.jsonl")
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:3] + extra + lines[3:]) + "\n")
+        with pytest.warns(UserWarning, match="skipped 3"):
+            pipeline = replay_trace(path)
+        assert len(pipeline.skipped_entries) == 3
+        assert any("unknown entry kind" in s
+                   for s in pipeline.skipped_entries)
+        assert pipeline.violations  # valid entries were still audited
+
+
 class TestExporterRing:
     def test_unbounded_by_default(self):
         exporter = InMemoryExporter()

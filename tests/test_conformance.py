@@ -81,3 +81,24 @@ def test_nf_conformance(label, factory, traffic):
     assert any(count > 0 for count in report.chunks_seen.values()), (
         "%s exported nothing under conformance traffic" % label
     )
+    # The at-most-once replay check ran wherever state was exported.
+    assert report.replay_scopes, (
+        "%s never exercised the rpc replay path" % label
+    )
+
+
+def test_replay_check_catches_dedup_violation():
+    """An NF that re-runs a replayed put must fail the battery."""
+
+    class ReplayBrokenMonitor(AssetMonitor):
+        def rpc_deliver(self, request_id, run):
+            self.rpcs_delivered += 1
+            run()  # ignores the request id: every retry re-applies
+
+    report = check_nf_conformance(
+        lambda sim, name: ReplayBrokenMonitor(sim, name)
+    )
+    assert not report.ok
+    assert any("dedup" in f or "replay" in f for f in report.failures), (
+        report.failures
+    )

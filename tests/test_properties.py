@@ -10,7 +10,7 @@ import json
 import string
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.flowspace import Filter, FiveTuple, FlowId
@@ -158,7 +158,6 @@ class TestScanRecordProperties:
     )
 
     @given(targets, targets)
-    @settings(suppress_health_check=[HealthCheck.too_slow])
     def test_merge_is_union(self, mine, theirs):
         a = ScanRecord("1.2.3.4", 0.0)
         b = ScanRecord("1.2.3.4", 1.0)
@@ -240,11 +239,9 @@ class TestChunkProperties:
         assert again.data == json.loads(json.dumps(data))
 
 
-move_settings = settings(
-    max_examples=12,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+# Deadline and health-check suppression come from the shared profile
+# registered in conftest.py; only the example budget is local.
+move_settings = settings(max_examples=12)
 
 
 class TestMoveGuaranteeProperties:

@@ -106,7 +106,8 @@ class MoveMachine(RuleBasedStateMachine):
         assert not any(nf.failed for nf in self.nfs)
 
 
+# Deadline/health-check defaults come from conftest's shared profile.
 MoveMachine.TestCase.settings = settings(
-    max_examples=15, stateful_step_count=12, deadline=None
+    max_examples=15, stateful_step_count=12
 )
 TestMoveMachine = MoveMachine.TestCase

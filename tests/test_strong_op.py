@@ -1,7 +1,7 @@
 """Tests for the technical-report strong order-preserving move."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.controller.move import Guarantee
@@ -100,8 +100,7 @@ class TestStrongOrderPreserving:
 
     @given(seed=st.integers(0, 300),
            rate=st.sampled_from([2000.0, 5000.0]))
-    @settings(max_examples=8, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=8)
     def test_property_sweep(self, seed, rate):
         reset_uid_counter()
         result = run_move_experiment("op-strong", n_flows=25,
