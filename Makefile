@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale examples validate clean results
+.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale bench-sharded examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,9 @@ bench-smoke:
 bench-scale:
 	$(PYTHON) benchmarks/bench_scale_dataplane.py
 
+bench-sharded:
+	$(PYTHON) benchmarks/bench_sharded.py
+
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs
 
@@ -27,6 +30,7 @@ test-conformance:
 
 conform:
 	$(PYTHON) -m repro.cli conform
+	$(PYTHON) -m repro.cli conform --shards 2
 	$(PYTHON) -m repro.cli conform --replay tests/corpus
 
 bench:

@@ -6,6 +6,12 @@ writes the headline numbers to ``benchmarks/results/BENCH_southbound.json``
 so regressions in control-plane message counts or move time show up in
 version control, not just in the full benchmark suite.
 
+``OPENNF_SHARDS=N`` (N > 1) runs the move half against an N-shard
+:class:`ShardedControlPlane` deployment instead of the classic
+controller and writes ``BENCH_southbound_shardsN.json``, so CI smokes
+the sharded plane with the exact same workload and gates its message
+counts and move time separately from the single-controller baseline.
+
 Runs standalone (``python benchmarks/bench_smoke.py``) or under pytest
 without ``pytest-benchmark``.
 """
@@ -29,12 +35,13 @@ from common import RESULTS_DIR
 
 N_FLOWS = 120
 RATE_PPS = 2500.0
+SHARDS = int(os.environ.get("OPENNF_SHARDS", "1") or "1")
 
 
 def _move_row(batching):
     result = run_move_experiment(
         guarantee="lf", parallel=True, n_flows=N_FLOWS, rate_pps=RATE_PPS,
-        seed=7, batching=batching,
+        seed=7, batching=batching, shards=SHARDS,
     )
     dep = result.deployment
     messages = 0
@@ -78,6 +85,7 @@ def _southbound_row(batching):
 def run_smoke() -> dict:
     results = {
         "n_flows": N_FLOWS,
+        "shards": SHARDS,
         "move_lf_pl": {
             "batching_off": _move_row(None),
             "batching_on": _move_row(BatchConfig()),
@@ -100,7 +108,9 @@ def run_smoke() -> dict:
 
 def write_results(results: dict) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_southbound.json")
+    name = ("BENCH_southbound.json" if SHARDS <= 1
+            else "BENCH_southbound_shards%d.json" % SHARDS)
+    path = os.path.join(RESULTS_DIR, name)
     with open(path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")

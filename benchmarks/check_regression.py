@@ -12,7 +12,10 @@ leaf values by their JSON path:
 * control-message-count keys (containing ``messages``) must not
   increase at all — the batching/consolidation wins are structural, so
   any growth is a real regression, not noise;
-* everything else (pps, speedups, sizes, booleans) is informational.
+* throughput keys (ending ``_per_s`` or ``_speedup_x``) must not fall
+  more than ``--tolerance`` below baseline — the sharded control
+  plane's scaling win is a gated result, not informational;
+* everything else (pps, sizes, booleans) is informational.
 
 Exit status is non-zero when any check fails, so CI can gate on it.
 """
@@ -26,6 +29,7 @@ import sys
 from typing import Any, Iterator, List, Tuple
 
 TIME_SUFFIXES = ("_ms", "_us_per_op")
+THROUGHPUT_SUFFIXES = ("_per_s", "_speedup_x")
 MESSAGE_MARKER = "messages"
 
 
@@ -70,6 +74,14 @@ def compare_file(
             if current > limit:
                 failures.append(
                     "%s: %s regressed %.3f -> %.3f (>%.0f%% over baseline)"
+                    % (name, path, base_value, current, tolerance * 100)
+                )
+        elif key.endswith(THROUGHPUT_SUFFIXES):
+            floor = base_value * (1.0 - tolerance)
+            if current < floor:
+                failures.append(
+                    "%s: %s throughput fell %.3f -> %.3f (>%.0f%% under "
+                    "baseline)"
                     % (name, path, base_value, current, tolerance * 100)
                 )
         elif MESSAGE_MARKER in key:

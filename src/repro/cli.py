@@ -190,6 +190,10 @@ def _build_parser() -> argparse.ArgumentParser:
     conform.add_argument("--corpus-dir", metavar="DIR", default=None,
                          help="with --hunt: persist the shrunk "
                               "counterexample as a corpus entry here")
+    conform.add_argument("--shards", type=int, default=1, metavar="N",
+                         help="run schedules against a sharded control "
+                              "plane of N controller replicas "
+                              "(default 1: the classic controller)")
     conform.add_argument("--verbose", action="store_true",
                          help="print every matrix cell, not just "
                               "failures and the summary")
@@ -501,6 +505,8 @@ def _cmd_conform(args: argparse.Namespace) -> int:
             print("repro conform: error: %s" % exc, file=sys.stderr)
             return 2
         spec = ScheduleSpec.from_dict(data.get("schedule", data))
+        if args.shards > 1:
+            spec.shards = args.shards
         result = run_schedule(spec)
         print(result.summary())
         for violation in result.violations:
@@ -524,7 +530,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     failed = []
     expected_dirty = 0
     for cell in cells:
-        result = run_cell(cell)
+        result = run_cell(cell, shards=args.shards)
         if result.clean:
             if args.verbose:
                 print("%-40s clean" % cell.label())

@@ -91,7 +91,7 @@ def matrix_cells() -> List[Cell]:
     ]
 
 
-def spec_for_cell(cell: Cell) -> ScheduleSpec:
+def spec_for_cell(cell: Cell, shards: int = 1) -> ScheduleSpec:
     """The canonical small schedule exercising one matrix cell.
 
     Sized so every flow has state before the operation fires and the
@@ -112,6 +112,7 @@ def spec_for_cell(cell: Cell) -> ScheduleSpec:
         rate_pps=4000.0,
         faults=MATRIX_FAULTS if cell.faults else None,
         batching=cell.batching,
+        shards=shards,
         ops=[op],
         bursts=[BurstSpec(at_ms=8.0, client="10.0.1.77", port=40000,
                           packets=3)],
@@ -243,6 +244,7 @@ def run_schedule(
         audit=True,
         faults=spec.faults,
         batching=True if spec.batching else None,
+        shards=spec.shards,
     )
     instances = []
     for index in range(spec.n_instances):
@@ -356,6 +358,8 @@ def _check_completeness(dep: Deployment, handles: List[dict]):
     return failures
 
 
-def run_cell(cell: Cell, keep_deployment: bool = False) -> ConformanceResult:
+def run_cell(cell: Cell, keep_deployment: bool = False,
+             shards: int = 1) -> ConformanceResult:
     """Run one matrix cell's canonical schedule."""
-    return run_schedule(spec_for_cell(cell), keep_deployment=keep_deployment)
+    return run_schedule(spec_for_cell(cell, shards=shards),
+                        keep_deployment=keep_deployment)

@@ -105,6 +105,9 @@ class ScheduleSpec:
     #: Fault-plan spec string (``repro.faults.FaultPlan.from_spec``).
     faults: Optional[str] = None
     batching: bool = False
+    #: Controller replicas; >1 runs the schedule against a
+    #: :class:`~repro.controller.sharding.ShardedControlPlane`.
+    shards: int = 1
     ops: List[OpSpec] = field(default_factory=list)
     bursts: List[BurstSpec] = field(default_factory=list)
 
@@ -119,6 +122,8 @@ class ScheduleSpec:
             axes.append("faults")
         if self.batching:
             axes.append("batching")
+        if self.shards > 1:
+            axes.append("shards%d" % self.shards)
         return "/".join(axes)
 
     # -------------------------------------------------------------- round-trip

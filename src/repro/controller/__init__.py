@@ -13,9 +13,15 @@ from repro.controller.operation import (
 from repro.controller.pipeline import WindowedPutPipeline
 from repro.controller.reports import OperationReport
 from repro.controller.share import ShareOperation
+from repro.controller.sharding import (
+    CrossShardOperation,
+    ShardedControlPlane,
+    ShardMap,
+)
 
 __all__ = [
     "CopyOperation",
+    "CrossShardOperation",
     "DeferredOperation",
     "Guarantee",
     "Journal",
@@ -25,6 +31,8 @@ __all__ = [
     "Operation",
     "OperationAborted",
     "OperationReport",
+    "ShardedControlPlane",
+    "ShardMap",
     "ShareOperation",
     "SwitchClient",
     "WindowedPutPipeline",

@@ -111,6 +111,19 @@ class OpenNFController:
         self.events_gap_skipped = 0
         self.clients: Dict[str, NFClient] = {}
         self.nf_ports: Dict[str, str] = {}
+        #: Incrementally maintained inverse of :attr:`nf_ports`, so
+        #: per-packet port resolution is O(1) instead of a linear scan.
+        self._port_to_nf: Dict[str, str] = {}
+        #: Sharding hooks: a replica inside a
+        #: :class:`~repro.controller.sharding.ShardedControlPlane` gets
+        #: its index, a back-reference to the plane (used to route
+        #: inbound messages to the owning replica's inbox), and extra
+        #: labels for operation traces / metrics. All inert (and the
+        #: timeline byte-identical) for a standalone controller.
+        self.shard_id: Optional[int] = None
+        self.plane = None
+        self.trace_attrs: Dict[str, str] = {}
+        self._shard_label: Dict[str, str] = {}
         self.switch: Optional[Switch] = None
         self.switch_client: Optional[SwitchClient] = None
         if switch is not None:
@@ -173,8 +186,25 @@ class OpenNFController:
         """Create the southbound client for ``nf`` and wire its event path.
 
         ``port`` names the switch port that reaches this instance (needed
-        for rule installs and packet-outs targeting it).
+        for rule installs and packet-outs targeting it). Two live NFs
+        cannot claim the same port: the second registration raises
+        instead of silently shadowing the first in packet-in resolution.
+        Re-registering the *same* name (a restarted instance) is allowed
+        and resets its event-sequencing state, so the replacement's
+        events (seq restarting at 1) are not dropped as duplicates.
         """
+        nf_port = port if port is not None else nf.name
+        holder = self._port_to_nf.get(nf_port)
+        if holder is not None and holder != nf.name:
+            raise ValueError(
+                "port %r already claimed by NF %r (registering %r)"
+                % (nf_port, holder, nf.name)
+            )
+        if nf.name in self.clients:
+            # A replacement instance under the same name: drop the old
+            # port binding and start its event stream from a clean slate.
+            self._port_to_nf.pop(self.nf_ports.get(nf.name), None)
+            self._reset_event_reorder(nf.name)
         client = NFClient(
             self.sim,
             nf,
@@ -215,9 +245,38 @@ class OpenNFController:
                     )
                 else:
                     nf.crash_on_nth_rpc(spec.on_nth_rpc, spec.reason)
+        # A fail-stopped instance is gone for good: retire its event
+        # reorder buffer so a replacement registered under the same name
+        # starts sequencing from scratch (see the restart bug above).
+        nf.add_failure_listener(self._on_nf_failed)
         self.clients[nf.name] = client
-        self.nf_ports[nf.name] = port if port is not None else nf.name
+        self.nf_ports[nf.name] = nf_port
+        self._port_to_nf[nf_port] = nf.name
         return client
+
+    def deregister_nf(self, name: str) -> None:
+        """Forget a retired instance: client, port binding, event state."""
+        self.clients.pop(name, None)
+        port = self.nf_ports.pop(name, None)
+        if port is not None and self._port_to_nf.get(port) == name:
+            del self._port_to_nf[port]
+        self._reset_event_reorder(name)
+
+    def _on_nf_failed(self, nf: NetworkFunction) -> None:
+        self._reset_event_reorder(nf.name)
+
+    def _reset_event_reorder(self, name: str) -> None:
+        """Drop per-NF sequencing state; release any buffered stragglers.
+
+        Events already buffered out of order were genuinely raised by the
+        (now dead or replaced) instance — deliver them in sequence order
+        rather than losing them with the buffer.
+        """
+        state = self._event_reorder.pop(name, None)
+        if state is None:
+            return
+        for seq in sorted(state["pending"]):
+            self._deliver_event(state["pending"][seq])
 
     @staticmethod
     def _crash_nf(nf: NetworkFunction, reason: str) -> None:
@@ -238,10 +297,7 @@ class OpenNFController:
 
     def instance_at_port(self, port: str) -> Optional[str]:
         """Inverse of :meth:`port_of`: which NF sits behind ``port``."""
-        for name, nf_port in self.nf_ports.items():
-            if nf_port == port:
-                return name
-        return None
+        return self._port_to_nf.get(port)
 
     # ------------------------------------------------------------------ dispatch
 
@@ -260,10 +316,13 @@ class OpenNFController:
         return interest.handle
 
     def remove_interest(self, handle: int) -> None:
-        self._event_interests = [
+        # Mutate in place: under a ShardedControlPlane the interest lists
+        # are literally shared between replicas, so rebinding one
+        # replica's attribute would silently fork the view.
+        self._event_interests[:] = [
             i for i in self._event_interests if i.handle != handle
         ]
-        self._packet_interests = [
+        self._packet_interests[:] = [
             i for i in self._packet_interests if i.handle != handle
         ]
 
@@ -275,10 +334,17 @@ class OpenNFController:
         self._deliver_event(event)
 
     def _deliver_event(self, event: PacketEvent) -> None:
-        self.events_received += 1
-        if self.obs.enabled:
-            self.obs.metrics.counter("ctrl.inbox").inc(1, kind="event")
-        self.inbox.push(("event", event, None))
+        # Under a sharded plane, the replica holding the NF's southbound
+        # channel receives the event, but the replica *owning the flow*
+        # must dispatch it (its operations hold the interests).
+        target = self if self.plane is None \
+            else self.plane.shard_for_event(event)
+        target.events_received += 1
+        if target.obs.enabled:
+            target.obs.metrics.counter("ctrl.inbox").inc(
+                1, kind="event", **target._shard_label
+            )
+        target.inbox.push(("event", event, None))
 
     def _handle_sequenced_event(self, event: PacketEvent) -> None:
         """Reliable event channel: ack, dedupe, and release in seq order.
@@ -303,7 +369,7 @@ class OpenNFController:
             self.events_duplicate_dropped += 1
             if self.obs.enabled:
                 self.obs.metrics.counter("ctrl.events.duplicates").inc(
-                    1, nf=event.nf_name
+                    1, nf=event.nf_name, **self._shard_label
                 )
             return
         state["pending"][event.seq] = event
@@ -331,7 +397,7 @@ class OpenNFController:
         self.events_gap_skipped += 1
         if self.obs.enabled:
             self.obs.metrics.counter("ctrl.events.gap_skipped").inc(
-                1, nf=nf_name
+                1, nf=nf_name, **self._shard_label
             )
         state["next"] = min(state["pending"])
         self._release_in_order(state)
@@ -353,13 +419,17 @@ class OpenNFController:
         """Entry point for packet-ins from the switch."""
         self.packet_ins_received += 1
         if self.obs.enabled:
-            self.obs.metrics.counter("ctrl.inbox").inc(1, kind="packet-in")
+            self.obs.metrics.counter("ctrl.inbox").inc(
+                1, kind="packet-in", **self._shard_label
+            )
         self.inbox.push(("packet-in", packet, None))
 
     def enqueue_chunk(self, handler: Callable[[Any], None], chunk: Any) -> None:
         """Route a streamed state chunk through the serialized inbox."""
         if self.obs.enabled:
-            self.obs.metrics.counter("ctrl.inbox").inc(1, kind="chunk")
+            self.obs.metrics.counter("ctrl.inbox").inc(
+                1, kind="chunk", **self._shard_label
+            )
         self.inbox.push(("chunk", chunk, handler))
 
     def enqueue_chunks(
@@ -375,7 +445,9 @@ class OpenNFController:
         if not chunks:
             return
         if self.obs.enabled:
-            self.obs.metrics.counter("ctrl.inbox").inc(1, kind="chunk-frame")
+            self.obs.metrics.counter("ctrl.inbox").inc(
+                1, kind="chunk-frame", **self._shard_label
+            )
         self.inbox.push(("chunk", chunks, handler), weight=len(chunks))
 
     def inbox_drained(self):
@@ -399,21 +471,42 @@ class OpenNFController:
 
     # ----------------------------------------------------------------- admission
 
-    def _conflicting(self, flt: Filter) -> List[Any]:
-        """Done-events of in-flight operations overlapping ``flt``."""
+    def _conflicting(self, flt: Filter, exclude=(),
+                     before: Optional[int] = None) -> List[Any]:
+        """Done-events of in-flight operations overlapping ``flt``.
+
+        ``exclude`` lists admission handles to skip. ``before`` bounds
+        the scan to handles admitted earlier than the given one — a
+        deferred operation re-checking conflicts at launch must only
+        wait on *older* entries (its own reservation, and reservations
+        of operations queued behind it, would otherwise deadlock the
+        FIFO chain).
+        """
         return [
-            done for (active_filter, done) in self._admission.values()
-            if active_filter.intersects(flt)
+            done for handle, (active_filter, done)
+            in self._admission.items()
+            if handle not in exclude
+            and (before is None or handle < before)
+            and active_filter.intersects(flt)
         ]
+
+    def _reserve(self, flt: Filter, done) -> int:
+        """Hold ``flt`` in the admission table until ``done`` triggers.
+
+        Used both for live operations and for deferred ones: reserving
+        the deferred filter at submission time is what makes deferral
+        FIFO — a later overlapping operation defers behind the
+        reservation instead of leapfrogging it.
+        """
+        self._operation_handle_counter += 1
+        handle = self._operation_handle_counter
+        self._admission[handle] = (flt, done)
+        done.add_callback(lambda _evt: self._admission.pop(handle, None))
+        return handle
 
     def _track_operation(self, flt: Filter, operation):
         """Enter a live operation into the admission table until done."""
-        self._operation_handle_counter += 1
-        handle = self._operation_handle_counter
-        self._admission[handle] = (flt, operation.done)
-        operation.done.add_callback(
-            lambda _evt: self._admission.pop(handle, None)
-        )
+        self._reserve(flt, operation.done)
         return operation
 
     def _admit(self, kind: str, flt: Filter, start, guarantee: Any = None):
@@ -433,7 +526,7 @@ class OpenNFController:
             self.moves_queued_for_conflict += 1
         if self.obs.enabled:
             self.obs.metrics.counter("ctrl.admission.deferred").inc(
-                1, kind=kind
+                1, kind=kind, **self._shard_label
             )
         return DeferredOperation(self, kind, flt, conflicts, start,
                                  guarantee=guarantee)
@@ -463,6 +556,24 @@ class OpenNFController:
         flow space conflicts with an in-flight operation); its ``done``
         event triggers with the operation report.
         """
+        start, parsed = self._move_start(
+            src, dst, flt, scope=scope, guarantee=guarantee,
+            parallel=parallel, early_release=early_release,
+            compress=compress, peer_to_peer=peer_to_peer,
+            drain_grace_ms=drain_grace_ms,
+        )
+        return self._admit("move", flt, start, guarantee=parsed)
+
+    def _move_start(
+        self, src, dst, flt, scope="per", guarantee="loss-free",
+        parallel=True, early_release=False, compress=False,
+        peer_to_peer=False, drain_grace_ms=30.0,
+    ):
+        """Build (start-closure, parsed guarantee) for a move.
+
+        Split from :meth:`move` so a sharded plane can construct the
+        operation on the owning replica after its own admission step.
+        """
         from repro.controller.move import Guarantee, MoveOperation
 
         parsed = Guarantee.parse(guarantee)
@@ -482,11 +593,19 @@ class OpenNFController:
                 drain_grace_ms=drain_grace_ms,
             )
 
-        return self._admit("move", flt, start, guarantee=parsed)
+        return start, parsed
 
     def copy(self, src: Any, dst: Any, flt: Filter, scope: Any = "multi",
              parallel: bool = True, compress: bool = False) -> Operation:
         """``copy(srcInst, dstInst, filter, scope)`` (§5.2.1)."""
+        start, _ = self._copy_start(
+            src, dst, flt, scope=scope, parallel=parallel,
+            compress=compress,
+        )
+        return self._admit("copy", flt, start)
+
+    def _copy_start(self, src, dst, flt, scope="multi", parallel=True,
+                    compress=False):
         from repro.controller.copy import CopyOperation
 
         def start() -> CopyOperation:
@@ -500,7 +619,7 @@ class OpenNFController:
                 compress=compress,
             )
 
-        return self._admit("copy", flt, start)
+        return start, None
 
     def share(
         self,
@@ -511,6 +630,14 @@ class OpenNFController:
         group_by: str = "host",
     ) -> Operation:
         """``share(list<inst>, filter, scope, consistency)`` (§5.2.2)."""
+        start, parsed = self._share_start(
+            instances, flt, scope=scope, consistency=consistency,
+            group_by=group_by,
+        )
+        return self._admit("share", flt, start, guarantee=parsed)
+
+    def _share_start(self, instances, flt, scope="multi",
+                     consistency="strong", group_by="host"):
         from repro.controller.share import ShareOperation
 
         def start() -> ShareOperation:
@@ -523,7 +650,7 @@ class OpenNFController:
                 group_by=group_by,
             )
 
-        return self._admit("share", flt, start, guarantee=consistency)
+        return start, consistency
 
     def notify(
         self,

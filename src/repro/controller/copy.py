@@ -68,6 +68,7 @@ class CopyOperation(Operation):
             src=src.name,
             dst=dst.name,
             scopes=",".join(s.value for s in scopes),
+            **controller.trace_attrs,
         )
         # Causally bound stubs (pass-throughs while tracing is off):
         # every get/put RPC below inherits this copy's trace_id.

@@ -156,6 +156,7 @@ class MoveOperation(Operation):
             src=src.name,
             dst=dst.name,
             scopes=",".join(s.value for s in scopes),
+            **controller.trace_attrs,
         )
         if self.trace.root.span_id is not None:
             self.trace.root.set(op_id=self.trace.root.span_id)

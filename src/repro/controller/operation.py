@@ -98,10 +98,15 @@ class DeferredOperation(Operation):
     """An admitted-but-waiting operation with the full handle surface.
 
     Created by the controller's admission table when a new operation's
-    filter overlaps in-flight flow space. Once every conflicting
-    operation finishes, the deferred operation re-checks admission (a
-    different overlapping operation may have started meanwhile) and
-    launches; its ``done`` event then mirrors the live operation's.
+    filter overlaps in-flight flow space. The deferred filter is itself
+    *reserved* in the admission table at submission time, so any later
+    operation overlapping it queues behind this one — deferral is FIFO
+    per overlapping flow space, and a stream of newcomers can no longer
+    starve an already-waiting operation by leapfrogging it. Once every
+    conflicting operation finishes, the deferred operation re-checks
+    admission (excluding its own reservation) and launches; its ``done``
+    event then mirrors the live operation's, and the reservation holds
+    the flow space continuously from submission through completion.
     """
 
     kind = "deferred"
@@ -123,9 +128,16 @@ class DeferredOperation(Operation):
         self.operation: Optional[Operation] = None
         self._abort_requested = None
         self.done = controller.sim.event("deferred-%s-done" % kind)
+        # FIFO: reserve our filter NOW. The reservation is released when
+        # self.done triggers — after the launched operation completes
+        # (its done mirrors into ours) or on abort-while-deferred.
+        self._admission_handle = controller._reserve(flt, self.done)
         self._await(conflicts)
 
     def _await(self, conflicts: List[Any]) -> None:
+        if not conflicts:
+            self.controller.sim.schedule(0.0, self._launch)
+            return
         remaining = {"count": len(conflicts)}
 
         def on_conflict_done(_evt) -> None:
@@ -139,12 +151,27 @@ class DeferredOperation(Operation):
     def _launch(self) -> None:
         if self.done.triggered:  # aborted while waiting
             return
-        # Another overlapping operation may have started while we waited.
-        conflicts = self.controller._conflicting(self.flt)
+        # Only wait on entries OLDER than our reservation: newer ones
+        # are queued behind us (waiting on our done), and waiting on
+        # them back would deadlock; our own reservation is newer than
+        # nothing, so `before` also excludes it.
+        conflicts = self.controller._conflicting(
+            self.flt, before=self._admission_handle
+        )
         if conflicts:
             self._await(conflicts)
             return
-        operation = self.controller._track_operation(self.flt, self._start())
+        self._begin()
+
+    def _begin(self) -> None:
+        """Flow space is clear: construct and run the real operation.
+
+        No _track_operation here: our standing reservation already
+        covers the filter until self.done (mirroring the live
+        operation's done) triggers. Overridden by the cross-shard
+        handshake to interpose the ownership transfer.
+        """
+        operation = self._start()
         self.operation = operation
         if self._abort_requested is not None:
             operation.abort(self._abort_requested)

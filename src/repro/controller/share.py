@@ -104,6 +104,7 @@ class ShareOperation(Operation):
             group_by=group_by,
             filter=repr(flt),
             instances=",".join(i.name for i in instances),
+            **controller.trace_attrs,
         )
         # Causally bound stubs (pass-throughs while tracing is off):
         # every RPC and switch command below inherits the session's

@@ -44,6 +44,8 @@ class Deployment:
         retry=None,
         batching=None,
         record_ground_truth: bool = True,
+        shards: int = 1,
+        handoff_latency_ms: float = 5.0,
     ) -> None:
         self.sim = sim or Simulator()
         #: One shared observability bundle; disabled unless ``observe=True``
@@ -85,9 +87,13 @@ class Deployment:
             obs=self.obs,
             record_ground_truth=record_ground_truth,
         )
-        self.controller = OpenNFController(
-            self.sim,
-            switch=self.switch,
+        #: ``shards > 1`` swaps the single controller for a
+        #: :class:`~repro.controller.sharding.ShardedControlPlane` of
+        #: that many replicas (same northbound surface). ``shards=1``
+        #: keeps the classic controller, byte-identical to before the
+        #: plane existed.
+        self.shards = shards
+        controller_kwargs = dict(
             msg_proc_ms=msg_proc_ms,
             nf_channel_latency_ms=nf_channel_latency_ms,
             sw_channel_latency_ms=sw_channel_latency_ms,
@@ -97,6 +103,20 @@ class Deployment:
             retry=retry,
             batching=self.batching,
         )
+        if shards > 1:
+            from repro.controller.sharding import ShardedControlPlane
+
+            self.controller = ShardedControlPlane(
+                self.sim,
+                switch=self.switch,
+                shards=shards,
+                handoff_latency_ms=handoff_latency_ms,
+                **controller_kwargs,
+            )
+        else:
+            self.controller = OpenNFController(
+                self.sim, switch=self.switch, **controller_kwargs
+            )
         self.nf_link_latency_ms = nf_link_latency_ms
         self.nfs: Dict[str, NetworkFunction] = {}
 

@@ -60,6 +60,7 @@ def run_move_experiment(
     audit: bool = False,
     fault_plan: Any = None,
     batching: Any = None,
+    shards: int = 1,
 ) -> MoveExperimentResult:
     """Replay a trace to instance 1, move flows to instance 2 mid-trace.
 
@@ -84,6 +85,8 @@ def run_move_experiment(
         kwargs.setdefault("faults", fault_plan)
     if batching is not None:
         kwargs.setdefault("batching", batching)
+    if shards > 1:
+        kwargs.setdefault("shards", shards)
     dep = Deployment(**kwargs)
     src = nf_factory(dep.sim, "inst1")
     dst = nf_factory(dep.sim, "inst2")

@@ -75,6 +75,10 @@ class NetworkFunction:
         self.obs = NULL_OBS
         self.failed = False
         self.failure_reason: Optional[str] = None
+        #: Callbacks invoked (once) when this instance fail-stops; the
+        #: controller hooks this to retire per-NF channel state (event
+        #: reorder buffers) the moment the instance is gone.
+        self._failure_listeners: List[Callable[["NetworkFunction"], None]] = []
         # Input path.
         self._queue: Deque[Packet] = deque()
         self._busy = False
@@ -129,12 +133,24 @@ class NetworkFunction:
         self.event_channel = channel
         self.event_sink = event_sink
 
+    def add_failure_listener(
+        self, callback: Callable[["NetworkFunction"], None]
+    ) -> None:
+        """Run ``callback(self)`` when this instance fail-stops."""
+        self._failure_listeners.append(callback)
+        if self.failed:
+            callback(self)
+
     def fail(self, reason: str) -> None:
         """Fail-stop this instance; queued packets are lost."""
+        if self.failed:
+            return
         self.failed = True
         self.failure_reason = reason
         self.packets_lost_to_failure += len(self._queue)
         self._queue.clear()
+        for callback in self._failure_listeners:
+            callback(self)
 
     def crash_on_nth_rpc(self, nth: int, reason: str) -> None:
         """Arm a crash on the ``nth`` southbound RPC delivered here."""
@@ -258,6 +274,8 @@ class NetworkFunction:
             self.failure_reason = str(crash)
             self._queue.clear()
             self._busy = False
+            for callback in self._failure_listeners:
+                callback(self)
             return
         self.packets_processed += 1
         if self.record_ground_truth:

@@ -1,0 +1,277 @@
+"""Tests for the sharded control plane.
+
+Covers the shard map (determinism, orientation normalization, prefix
+bucketing, balance), the single-shard == classic-controller timeline
+guarantee, the parallelism win (disjoint operations no longer serialize
+through one inbox), the cross-shard ownership handshake (including
+abort-mid-handoff), and the shared registration view.
+"""
+
+import dataclasses
+
+from repro.controller.controller import OpenNFController
+from repro.controller.sharding import ShardMap, ShardedControlPlane
+from repro.flowspace import Filter, FiveTuple
+from repro.harness import Deployment
+from repro.net.packet import reset_uid_counter
+from repro.nfs.dummy import DummyNF
+from repro.conformance import run_schedule
+from repro.conformance.schedule import BurstSpec, OpSpec, ScheduleSpec
+
+import pytest
+
+
+class TestShardMap:
+    def test_deterministic(self):
+        m = ShardMap(4)
+        flt = Filter({"nw_src": "172.16.0.0/16"}, symmetric=True)
+        assert m.shard_for_filter(flt) == m.shard_for_filter(flt)
+        assert ShardMap(4).shard_for_filter(flt) == m.shard_for_filter(flt)
+
+    def test_orientations_of_one_flow_agree(self):
+        m = ShardMap(8)
+        flow = FiveTuple("10.0.1.2", 1234, "203.0.113.5", 80)
+        fwd = Filter.for_flow(flow, symmetric=False)
+        rev = Filter.for_flow(flow.reversed(), symmetric=False)
+        sym = Filter.for_flow(flow, symmetric=True)
+        packet_shard = m.shard_for_headers(flow.headers())
+        assert (m.shard_for_filter(fwd) == m.shard_for_filter(rev)
+                == m.shard_for_filter(sym) == packet_shard)
+
+    def test_adjacent_prefixes_cycle_shards(self):
+        m = ShardMap(4)
+        shards = [
+            m.shard_for_filter(
+                Filter({"nw_src": "172.%d.0.0/16" % (16 + i)},
+                       symmetric=True)
+            )
+            for i in range(8)
+        ]
+        # Consecutive /16s land on consecutive shards (round-robin), so
+        # a bench splitting traffic across subnets balances perfectly.
+        assert shards == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_wildcard_goes_to_shard_zero(self):
+        m = ShardMap(4)
+        assert m.shard_for_filter(Filter.wildcard()) == 0
+        assert m.shard_for_filter(Filter({"nw_proto": 6})) == 0
+
+    def test_exact_flow_balance_roughly_uniform(self):
+        m = ShardMap(4)
+        counts = [0, 0, 0, 0]
+        for i in range(400):
+            flow = FiveTuple("10.%d.%d.%d" % (i % 7, i % 11, 1 + i % 250),
+                             20000 + i, "203.0.113.5", 80)
+            counts[m.shard_for_headers(flow.headers())] += 1
+        assert min(counts) > 400 // 4 // 2  # no shard starves
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+
+def _run_move(controller_kind, n_flows=60):
+    """One preloaded DummyNF move; returns (report, deployment)."""
+    reset_uid_counter()
+    dep = Deployment()
+    if controller_kind == "plane":
+        dep.controller = ShardedControlPlane(
+            dep.sim, switch=dep.switch, shards=1, obs=dep.obs
+        )
+    src = DummyNF(dep.sim, "inst1")
+    dst = DummyNF(dep.sim, "inst2")
+    dep.add_nf(src)
+    dep.add_nf(dst)
+    src.preload(n_flows, base_ip="172.16.0.0")
+    flt = Filter({"nw_src": "172.16.0.0/16"}, symmetric=True)
+    op = dep.controller.move("inst1", "inst2", flt, guarantee="lf")
+    dep.run()
+    assert op.done.triggered
+    return op.report, dep
+
+
+class TestSingleShardIdentical:
+    def test_deployment_shards_1_is_the_classic_controller(self):
+        dep = Deployment(shards=1)
+        assert isinstance(dep.controller, OpenNFController)
+        assert dep.controller.plane is None
+
+    def test_one_replica_plane_timeline_matches_classic(self):
+        classic, _ = _run_move("classic")
+        plane, dep = _run_move("plane")
+        assert dataclasses.asdict(plane) == dataclasses.asdict(classic)
+        assert dep.controller.cross_shard_operations == 0
+
+
+class TestParallelism:
+    def _two_moves(self, shards):
+        reset_uid_counter()
+        dep = Deployment(shards=shards)
+        nfs = {}
+        for name in ("inst1", "inst2", "inst3", "inst4"):
+            nfs[name] = DummyNF(dep.sim, name)
+            dep.add_nf(nfs[name])
+        # 172.16/16 homes on shard 0, 172.17/16 on shard 1.
+        nfs["inst1"].preload(120, base_ip="172.16.0.0")
+        nfs["inst3"].preload(120, base_ip="172.17.0.0")
+        left = Filter({"nw_src": "172.16.0.0/16"}, symmetric=True)
+        right = Filter({"nw_src": "172.17.0.0/16"}, symmetric=True)
+        op1 = dep.controller.move("inst1", "inst2", left, guarantee="lf")
+        op2 = dep.controller.move("inst3", "inst4", right, guarantee="lf")
+        dep.run()
+        assert op1.done.triggered and op2.done.triggered
+        return op1.report.duration_ms, op2.report.duration_ms
+
+    def test_disjoint_moves_stop_serializing_across_shards(self):
+        """One inbox serializes chunk handling; two inboxes don't.
+
+        Two concurrent 120-chunk moves through the classic controller
+        interleave in one ChunkPump, stretching both; on a 2-shard
+        plane each move owns a replica and runs at solo speed.
+        """
+        classic = self._two_moves(shards=1)
+        sharded = self._two_moves(shards=2)
+        solo_report, _ = _run_move("classic", n_flows=120)
+        solo = solo_report.duration_ms
+        assert max(sharded) < max(classic) * 0.75
+        assert max(sharded) < solo * 1.2
+        assert max(classic) > solo * 1.5
+
+
+def _cross_shard_spec(second_op):
+    # 10.0.1.0/24 homes on shard 1; 10.0.0.0/8 homes on shard 0 and
+    # intersects it -> the second operation needs the handshake.
+    return ScheduleSpec(
+        nf="monitor",
+        seed=11,
+        n_flows=6,
+        data_packets=3,
+        shards=2,
+        ops=[
+            OpSpec(kind="move", at_ms=6.0, src="inst1", dst="inst2",
+                   prefix="10.0.1.0/24", guarantee="lf"),
+            second_op,
+        ],
+        bursts=[BurstSpec(at_ms=8.0, client="10.0.1.77", port=40000,
+                          packets=3)],
+    )
+
+
+class TestCrossShard:
+    def test_cross_shard_move_audits_clean(self):
+        spec = _cross_shard_spec(
+            OpSpec(kind="move", at_ms=7.0, src="inst2", dst="inst1",
+                   prefix="10.0.0.0/8", guarantee="lf")
+        )
+        result = run_schedule(spec, keep_deployment=True)
+        assert result.ok, result.summary()
+        plane = result.deployment.controller
+        assert plane.cross_shard_operations >= 1
+        assert plane.handoffs_completed >= 1
+
+    def test_cross_shard_copy_audits_clean(self):
+        spec = _cross_shard_spec(
+            OpSpec(kind="copy", at_ms=7.0, src="inst2", dst="inst1",
+                   prefix="10.0.0.0/8", scope="multi")
+        )
+        result = run_schedule(spec, keep_deployment=True)
+        assert result.ok, result.summary()
+        assert result.deployment.controller.cross_shard_operations >= 1
+
+    def test_cross_shard_share_audits_clean(self):
+        spec = _cross_shard_spec(
+            OpSpec(kind="share", at_ms=7.0, src="inst1", dst="inst2",
+                   prefix="10.0.0.0/8", guarantee="strong",
+                   scope="multi", stop_at_ms=30.0)
+        )
+        result = run_schedule(spec, keep_deployment=True)
+        assert result.ok, result.summary()
+        assert result.deployment.controller.cross_shard_operations >= 1
+
+    def test_handoff_transfers_ownership_persistently(self):
+        dep = Deployment(shards=2)
+        nfs = {}
+        for name in ("inst1", "inst2", "inst3", "inst4"):
+            nfs[name] = DummyNF(dep.sim, name)
+            dep.add_nf(nfs[name])
+        nfs["inst3"].preload(40, base_ip="172.17.0.0")
+        plane = dep.controller
+        right = Filter({"nw_src": "172.17.0.0/16"}, symmetric=True)
+        assert plane.shard_map.shard_for_filter(right) == 1
+        op1 = dep.controller.move("inst3", "inst4", right, guarantee="lf")
+        # Overlapping op homed on shard 0 while op1 runs on shard 1.
+        results = []
+        dep.sim.schedule(1.0, lambda: results.append(
+            dep.controller.move("inst4", "inst2", Filter({"nw_proto": 6}))))
+        dep.run()
+        op2 = results[0]
+        assert op1.done.triggered and op2.done.triggered
+        assert plane.handoffs_completed == 1
+        # Shard 0 now owns the transferred flow space: traffic that
+        # previously routed to shard 1 by hash routes to the new owner.
+        headers = FiveTuple("172.17.0.9", 10000, "198.18.0.1",
+                            80, 6).headers()
+        assert plane._route_headers(headers) == 0
+        # Operation-lifetime claims are all released.
+        assert plane._claims == []
+
+    def test_abort_mid_handshake_resolves_without_handoff(self):
+        dep = Deployment(shards=2)
+        nfs = {}
+        for name in ("inst1", "inst2", "inst3", "inst4"):
+            nfs[name] = DummyNF(dep.sim, name)
+            dep.add_nf(nfs[name])
+        nfs["inst3"].preload(200, base_ip="172.17.0.0")
+        right = Filter({"nw_src": "172.17.0.0/16"}, symmetric=True)
+        op1 = dep.controller.move("inst3", "inst4", right, guarantee="lf")
+        holder = []
+        dep.sim.schedule(1.0, lambda: holder.append(
+            dep.controller.move("inst4", "inst2", Filter({"nw_proto": 6}))))
+        # Abort while the cross-shard op is still waiting on op1.
+        dep.sim.schedule(2.0, lambda: holder[0].abort("changed my mind"))
+        dep.run()
+        op2 = holder[0]
+        assert op1.done.triggered and op2.done.triggered
+        assert op2.operation is None
+        assert "aborted while deferred" in op2.report.aborted
+        assert dep.controller.handoffs_completed == 0
+        assert dep.controller._ownership == []
+        # Every replica's admission table drained.
+        for replica in dep.controller.replicas:
+            assert replica._admission == {}
+
+
+class TestSharedView:
+    def test_registration_visible_on_every_replica(self):
+        dep = Deployment(shards=4)
+        for name in ("inst1", "inst2", "inst3"):
+            dep.add_nf(DummyNF(dep.sim, name))
+        plane = dep.controller
+        homes = {plane.shard_map.shard_for_name(n)
+                 for n in ("inst1", "inst2", "inst3")}
+        assert len(homes) > 1  # names spread across home shards
+        for replica in plane.replicas:
+            assert set(replica.clients) == {"inst1", "inst2", "inst3"}
+            assert replica.instance_at_port("inst2") == "inst2"
+
+    def test_duplicate_port_rejected_across_replicas(self):
+        dep = Deployment(shards=4)
+        plane = dep.controller
+        plane.register_nf(DummyNF(dep.sim, "inst1"), port="shared-port")
+        # Pick a name homed on a different replica than inst1's.
+        other = next(
+            "other%d" % i for i in range(32)
+            if plane.shard_map.shard_for_name("other%d" % i)
+            != plane.shard_map.shard_for_name("inst1")
+        )
+        with pytest.raises(ValueError, match="already claimed"):
+            plane.register_nf(DummyNF(dep.sim, other), port="shared-port")
+
+    def test_interest_removal_is_visible_everywhere(self):
+        dep = Deployment(shards=2)
+        dep.add_nf(DummyNF(dep.sim, "inst1"))
+        plane = dep.controller
+        handle = plane.add_event_interest("inst1", None, lambda e: None)
+        assert all(r._event_interests for r in plane.replicas)
+        plane.replicas[1].remove_interest(handle)
+        assert all(not r._event_interests for r in plane.replicas)
