@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale bench-sharded examples validate clean results
+.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale bench-sharded bench-chain examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,9 @@ bench-scale:
 
 bench-sharded:
 	$(PYTHON) benchmarks/bench_sharded.py
+
+bench-chain:
+	$(PYTHON) benchmarks/bench_chain.py
 
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs

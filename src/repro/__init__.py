@@ -11,9 +11,7 @@ comparison baselines, and the control applications of §6.
 
 Quick start::
 
-    from repro import Deployment, AssetMonitor, Filter
-    from repro.traffic import TraceConfig, TraceReplayer, \\
-        build_university_cloud_trace
+    from repro import Deployment, AssetMonitor, Filter, Guarantee
 
     dep = Deployment()
     src = AssetMonitor(dep.sim, "prads1")
@@ -21,23 +19,40 @@ Quick start::
     dep.add_nf(src); dep.add_nf(dst)
     dep.set_default_route("prads1")
 
+    from repro.traffic import TraceConfig, TraceReplayer, \\
+        build_university_cloud_trace
     trace = build_university_cloud_trace(TraceConfig(n_flows=100))
     TraceReplayer(dep.sim, dep.inject, trace.packets, rate_pps=2500).start()
 
     flt = Filter({"nw_src": "10.0.0.0/8"}, symmetric=True)
     dep.sim.schedule(100.0, lambda: dep.controller.move(
-        "prads1", "prads2", flt, scope="per", guarantee="loss-free"))
+        "prads1", "prads2", flt, scope="per",
+        guarantee=Guarantee.LOSS_FREE))
     dep.sim.run()
+
+Import policy: application code imports the blessed surface —
+``Deployment``, ``Guarantee``, ``Operation``, ``Filter``, ``FaultPlan``,
+``Chain`` and friends — from the top-level ``repro`` package; chains are
+constructed only through ``Deployment.chain(...)``. Submodule paths
+(``repro.controller.move`` etc.) are implementation detail and may move
+between releases. See docs/api.md.
 """
 
 from repro.controller import (
+    Chain,
+    ChainOperation,
+    ChainSpec,
     CopyOperation,
+    DeferredOperation,
     Guarantee,
     MoveOperation,
     OpenNFController,
+    Operation,
     OperationReport,
+    ShardedControlPlane,
     ShareOperation,
 )
+from repro.faults import FaultPlan
 from repro.flowspace import Filter, FiveTuple, FlowId
 from repro.harness import Deployment
 from repro.nf import (
@@ -64,11 +79,16 @@ __version__ = "1.0.0"
 __all__ = [
     "AssetMonitor",
     "CachingProxy",
+    "Chain",
+    "ChainOperation",
+    "ChainSpec",
     "CopyOperation",
+    "DeferredOperation",
     "Deployment",
     "DummyNF",
     "Event",
     "EventAction",
+    "FaultPlan",
     "Filter",
     "FiveTuple",
     "FlowId",
@@ -82,8 +102,10 @@ __all__ = [
     "NetworkAddressTranslator",
     "NetworkFunction",
     "OpenNFController",
+    "Operation",
     "OperationReport",
     "Packet",
+    "ShardedControlPlane",
     "PacketEvent",
     "Process",
     "REDecoder",

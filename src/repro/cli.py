@@ -15,6 +15,8 @@ Usage::
     python -m repro.cli conform tests/corpus/abort-racing-put.schedule.json
     python -m repro.cli conform --replay tests/corpus
     python -m repro.cli conform --hunt splitmerge --corpus-dir tests/corpus
+    python -m repro.cli chain --guarantee lf --shards 2
+    python -m repro.cli chain --hop-guarantee nat=ng
     python -m repro.cli version
 
 ``demo-move`` runs one instrumented move between two PRADS-like
@@ -197,6 +199,34 @@ def _build_parser() -> argparse.ArgumentParser:
     conform.add_argument("--verbose", action="store_true",
                          help="print every matrix cell, not just "
                               "failures and the summary")
+
+    chain = sub.add_parser(
+        "chain",
+        help="run one audited chain-wide move over a 3-hop "
+             "IDS → NAT → proxy chain and print per-hop reports",
+    )
+    chain.add_argument("--guarantee", default="loss-free", type=_guarantee,
+                       metavar="LEVEL",
+                       help="chain-wide safety level (any Guarantee alias)")
+    chain.add_argument("--hop-guarantee", action="append", default=[],
+                       metavar="HOP=LEVEL", dest="hop_guarantees",
+                       help="override one hop's guarantee, e.g. nat=ng "
+                            "(repeatable)")
+    chain.add_argument("--flows", type=int, default=40)
+    chain.add_argument("--rate", type=float, default=2500.0,
+                       help="replay rate in packets/second")
+    chain.add_argument("--seed", type=int, default=5)
+    chain.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="run against a sharded control plane of N "
+                            "replicas")
+    chain.add_argument("--faults", metavar="SPEC", default=None,
+                       help="fault-plan spec, e.g. 'seed=3,drop=0.05' "
+                            "(default: $OPENNF_FAULTS if set)")
+    chain.add_argument("--batching", action="store_true",
+                       help="batch control-plane messages (§8.3)")
+    chain.add_argument("--abort-at", type=float, default=None, metavar="MS",
+                       help="abort the chain operation this many ms after "
+                            "it starts (exercises hop rollback)")
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -552,6 +582,91 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_chain(args: argparse.Namespace) -> int:
+    from repro.conformance.runner import NF_FACTORIES
+    from repro.harness import (
+        LOCAL_NET_FILTER,
+        Deployment,
+        check_chain_loss_free,
+    )
+    from repro.traffic.replay import TraceReplayer
+    from repro.traffic.traces import TraceConfig, build_university_cloud_trace
+
+    hop_guarantees = {}
+    for override in args.hop_guarantees:
+        if "=" not in override:
+            print("repro chain: error: --hop-guarantee wants HOP=LEVEL, "
+                  "got %r" % override, file=sys.stderr)
+            return 2
+        hop, level = override.split("=", 1)
+        hop_guarantees[hop.strip()] = _guarantee(level.strip())
+
+    hops = [("ids", ("ids1", "ids2")), ("nat", ("nat1", "nat2")),
+            ("proxy", ("proxy1", "proxy2"))]
+    unknown = set(hop_guarantees) - {name for name, _ in hops}
+    if unknown:
+        print("repro chain: error: unknown hop(s) %s (chain is ids → nat "
+              "→ proxy)" % ", ".join(sorted(unknown)), file=sys.stderr)
+        return 2
+
+    dep = Deployment(
+        audit=True,
+        shards=args.shards,
+        faults=_fault_plan_from(args.faults),
+        batching=True if args.batching else None,
+    )
+    nfs_by_hop = []
+    for hop_name, names in hops:
+        members = []
+        for name in names:
+            nf = NF_FACTORIES[hop_name](dep.sim, name)
+            dep.add_nf(nf)
+            members.append(nf)
+        nfs_by_hop.append((hop_name, members))
+    chain = dep.chain("edge", hops, flt=LOCAL_NET_FILTER)
+
+    trace = build_university_cloud_trace(TraceConfig(
+        seed=args.seed, n_flows=args.flows, data_packets=10,
+    ))
+    replayer = TraceReplayer(dep.sim, dep.inject, trace.packets,
+                             rate_pps=args.rate)
+    replayer.start()
+    holder = {}
+
+    def kickoff():
+        holder["op"] = dep.controller.move_chain(
+            chain, LOCAL_NET_FILTER,
+            {hop_name: names[1] for hop_name, names in hops},
+            guarantee=args.guarantee,
+            hop_guarantees=hop_guarantees or None,
+        )
+        if args.abort_at is not None:
+            dep.sim.schedule(args.abort_at, holder["op"].abort,
+                             "aborted via CLI")
+
+    dep.sim.schedule(replayer.duration_ms / 2.0, kickoff)
+    dep.sim.run()
+
+    operation = holder["op"]
+    report = operation.done.value
+    print(report.summary())
+    for hop_report in operation.hop_reports:
+        print("  hop %-8s %s" % ("%s:" % hop_report.src, hop_report.summary()))
+    for note in report.notes:
+        print("  note: %s" % note)
+    print("actives: %s" % " → ".join(
+        "%s=%s" % (hop.name, hop.active) for hop in chain.hops
+    ))
+    ok, detail = check_chain_loss_free(dep.switch, nfs_by_hop)
+    print("chain loss-free: %s%s"
+          % ("yes" if ok else "NO", "" if ok else "  (%s)" % detail))
+    _print_violations(dep.obs.violations())
+    if report.aborted:
+        print("ABORTED: %s" % report.aborted)
+        return 1
+    return 1 if (dep.obs.violations() or not ok) else 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     result = run_move_experiment(
         guarantee=args.guarantee,
@@ -572,13 +687,16 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.controller.move import Guarantee
+
     failures = 0
     for seed in range(args.seeds):
-        lf = run_move_experiment("lf", n_flows=args.flows,
+        lf = run_move_experiment(Guarantee.LOSS_FREE, n_flows=args.flows,
                                  rate_pps=args.rate, seed=seed)
-        op = run_move_experiment("op", n_flows=args.flows,
+        op = run_move_experiment(Guarantee.ORDER_PRESERVING,
+                                 n_flows=args.flows,
                                  rate_pps=args.rate, seed=seed)
-        ng = run_move_experiment("ng", n_flows=args.flows,
+        ng = run_move_experiment(Guarantee.NONE, n_flows=args.flows,
                                  rate_pps=args.rate, seed=seed)
         checks = [
             ("LF move loss-free", lf.loss_free),
@@ -617,6 +735,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "conform":
         return _cmd_conform(args)
+    if args.command == "chain":
+        return _cmd_chain(args)
     return 2
 
 

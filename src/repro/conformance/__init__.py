@@ -58,9 +58,11 @@ from repro.conformance.runner import (
     run_cell,
     run_schedule,
     spec_for_cell,
+    spec_for_chain_cell,
 )
 from repro.conformance.schedule import (
     BurstSpec,
+    ChainOpSpec,
     OpSpec,
     ScheduleSpec,
     schedule_specs,
@@ -69,6 +71,7 @@ from repro.conformance.schedule import (
 __all__ = [
     "BurstSpec",
     "Cell",
+    "ChainOpSpec",
     "ConformanceResult",
     "CorpusEntry",
     "GUARANTEE_LEVELS",
@@ -91,4 +94,5 @@ __all__ = [
     "save_entry",
     "schedule_specs",
     "spec_for_cell",
+    "spec_for_chain_cell",
 ]

@@ -83,12 +83,14 @@ class _TracedOp:
 
     __slots__ = (
         "trace_id", "kind", "src", "dst", "instances", "filter",
-        "started_ms", "ended_ms", "aborted",
+        "chain_id", "started_ms", "ended_ms", "aborted",
         "exports", "imports", "import_order_ok",
     )
 
     def __init__(self, record: dict, time_ms: float) -> None:
         self.trace_id = record.get("trace_id")
+        raw_chain = record.get("chain_id")
+        self.chain_id = str(raw_chain) if raw_chain is not None else None
         self.kind = record.get("kind", "?")
         self.src = record.get("src")
         self.dst = record.get("dst")
@@ -156,6 +158,26 @@ def _collect_ops(entries) -> Dict[int, _TracedOp]:
     return ops
 
 
+def _same_chain(first: _TracedOp, second: _TracedOp) -> bool:
+    """Is one op the other's chain parent, or both hops of one chain?
+
+    A chain operation holds a single admission reservation that its
+    constituent per-hop moves run under, so the parent's window
+    legitimately spans its children's — isolation applies only across
+    distinct reservations.
+    """
+    if first.chain_id is not None and first.chain_id == second.chain_id:
+        return True
+    for parent, child in ((first, second), (second, first)):
+        if (
+            parent.kind == "chain"
+            and parent.trace_id is not None
+            and child.chain_id == str(parent.trace_id)
+        ):
+            return True
+    return False
+
+
 def check_isolation(entries) -> List[PropertyFailure]:
     """No two operations over intersecting flow space overlap in time."""
     ops = sorted(
@@ -165,6 +187,8 @@ def check_isolation(entries) -> List[PropertyFailure]:
     for index, first in enumerate(ops):
         for second in ops[index + 1:]:
             if first.filter is None or second.filter is None:
+                continue
+            if _same_chain(first, second):
                 continue
             if not first.filter.intersects(second.filter):
                 continue

@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.flowspace.filter import Filter
 from repro.harness.deployment import Deployment
-from repro.harness.properties import check_loss_free
+from repro.harness.properties import check_chain_loss_free, check_loss_free
 from repro.net.packet import reset_uid_counter
 from repro.nf.state import Scope
 from repro.nfs.ids import IntrusionDetector
@@ -42,7 +42,12 @@ from repro.conformance.properties import (
     check_trace_properties,
     entries_from_obs,
 )
-from repro.conformance.schedule import BurstSpec, OpSpec, ScheduleSpec
+from repro.conformance.schedule import (
+    BurstSpec,
+    ChainOpSpec,
+    OpSpec,
+    ScheduleSpec,
+)
 
 #: Every bundled NF the matrix drives (§7's modified NFs plus extras).
 NF_FACTORIES: Dict[str, Callable[..., Any]] = {
@@ -116,6 +121,38 @@ def spec_for_cell(cell: Cell, shards: int = 1) -> ScheduleSpec:
         ops=[op],
         bursts=[BurstSpec(at_ms=8.0, client="10.0.1.77", port=40000,
                           packets=3)],
+    )
+
+
+def spec_for_chain_cell(
+    guarantee: str = "lf",
+    shards: int = 1,
+    faults: bool = False,
+    batching: bool = False,
+    hops: Tuple[str, ...] = ("ids", "nat", "proxy"),
+    hop_guarantees: Optional[Dict[str, str]] = None,
+) -> ScheduleSpec:
+    """Canonical chain cell: a 3-hop IDS→NAT→proxy move_chain mid-trace.
+
+    The chain's shared filter is the whole local net, so every trace
+    flow crosses all three hops; the operation migrates each hop to its
+    second instance tail-to-head while a burst races the windows.
+    """
+    return ScheduleSpec(
+        nf=hops[0],
+        seed=11,
+        n_flows=6,
+        data_packets=3,
+        rate_pps=4000.0,
+        faults=MATRIX_FAULTS if faults else None,
+        batching=batching,
+        shards=shards,
+        ops=[],
+        bursts=[BurstSpec(at_ms=8.0, client="10.0.1.77", port=40000,
+                          packets=3)],
+        chains=[ChainOpSpec(hops=list(hops), at_ms=6.0,
+                            guarantee=guarantee,
+                            hop_guarantees=dict(hop_guarantees or {}))],
     )
 
 
@@ -209,6 +246,27 @@ def stop_share_handle(handle) -> bool:
     return False
 
 
+def _launch_chain_op(
+    dep: Deployment,
+    chain,
+    chain_spec: ChainOpSpec,
+    handles: List[dict],
+) -> None:
+    """Fire a chain-wide move: every hop migrates to its 2nd instance."""
+    dst_map = {hop: "%s2" % hop for hop in chain_spec.hops}
+    handle = dep.controller.move_chain(
+        chain,
+        Filter({"nw_src": chain_spec.prefix}, symmetric=True),
+        dst_map,
+        guarantee=chain_spec.guarantee,
+        hop_guarantees=dict(chain_spec.hop_guarantees) or None,
+    )
+    handles.append({"spec": chain_spec, "handle": handle})
+    if chain_spec.abort_at_ms is not None:
+        dep.call_at(dep.sim.now + chain_spec.abort_at_ms, handle.abort,
+                    "conformance schedule abort")
+
+
 def _launch_op(dep: Deployment, op_spec: OpSpec, handles: List[dict]) -> None:
     flt = Filter({"nw_src": op_spec.prefix}, symmetric=True)
     ctrl = dep.controller
@@ -239,7 +297,6 @@ def run_schedule(
 ) -> ConformanceResult:
     """Run one schedule end to end and evaluate every verdict source."""
     reset_uid_counter()
-    factory = NF_FACTORIES[spec.nf]
     dep = Deployment(
         audit=True,
         faults=spec.faults,
@@ -247,11 +304,39 @@ def run_schedule(
         shards=spec.shards,
     )
     instances = []
-    for index in range(spec.n_instances):
-        nf = factory(dep.sim, "inst%d" % (index + 1))
-        dep.add_nf(nf)
-        instances.append(nf)
-    dep.set_default_route("inst1")
+    chain_hops: List[Tuple[str, List[Any]]] = []
+    chain = None
+    if spec.chains:
+        # Chain schedules swap the classic inst1..instN topology for two
+        # instances per hop; the chain's multicast rule replaces the
+        # default route (its filter covers the whole trace's local net).
+        hop_kinds = list(spec.chains[0].hops)
+        for other in spec.chains[1:]:
+            if list(other.hops) != hop_kinds:
+                raise ValueError(
+                    "all chain ops in one schedule must share a topology"
+                )
+        hops_decl = []
+        for kind in hop_kinds:
+            members = []
+            for copy_idx in (1, 2):
+                nf = NF_FACTORIES[kind](dep.sim, "%s%d" % (kind, copy_idx))
+                dep.add_nf(nf)
+                members.append(nf)
+            hops_decl.append((kind, tuple(m.name for m in members)))
+            chain_hops.append((kind, members))
+            instances.extend(members)
+        chain = dep.chain(
+            "chain", hops_decl,
+            flt=Filter({"nw_src": spec.chains[0].prefix}, symmetric=True),
+        )
+    else:
+        factory = NF_FACTORIES[spec.nf]
+        for index in range(spec.n_instances):
+            nf = factory(dep.sim, "inst%d" % (index + 1))
+            dep.add_nf(nf)
+            instances.append(nf)
+        dep.set_default_route("inst1")
 
     duration_ms = 0.0
     replayer = None
@@ -275,12 +360,17 @@ def run_schedule(
         if at_ms is None:
             at_ms = duration_ms / 2.0
         dep.call_at(at_ms, _launch_op, dep, op_spec, handles)
+    for chain_spec in spec.chains:
+        at_ms = chain_spec.at_ms
+        if at_ms is None:
+            at_ms = duration_ms / 2.0
+        dep.call_at(at_ms, _launch_chain_op, dep, chain, chain_spec, handles)
 
     dep.run()
     # Shares without a scheduled stop idle forever; a deferred operation
     # queued behind one only launches after the stop — so stop, re-run,
     # and repeat until every handle has completed.
-    for _ in range(len(spec.ops) + 1):
+    for _ in range(len(spec.ops) + len(spec.chains) + 1):
         stopped_one = False
         for entry in handles:
             if stop_share_handle(entry["handle"]):
@@ -305,9 +395,17 @@ def run_schedule(
     result.property_failures.extend(
         _check_completeness(dep, handles)
     )
-    result.loss_free, result.loss_free_detail = check_loss_free(
-        dep.switch, instances
-    )
+    if spec.chains:
+        # Per-hop ground truth: the chain's multicast rule delivers each
+        # packet to every hop, which the whole-instance check would
+        # misread as N-fold duplication.
+        result.loss_free, result.loss_free_detail = check_chain_loss_free(
+            dep.switch, chain_hops
+        )
+    else:
+        result.loss_free, result.loss_free_detail = check_loss_free(
+            dep.switch, instances
+        )
     if keep_deployment:
         result.deployment = dep
     return result

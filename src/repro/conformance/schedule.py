@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 #: Operation kinds a schedule may fire. ``splitmerge`` is the §2.2
 #: baseline's migrate; the rest are the OpenNF northbound.
@@ -92,6 +92,50 @@ class OpSpec:
 
 
 @dataclass
+class ChainOpSpec:
+    """One scheduled chain-wide move over the bundled chain topology.
+
+    The runner builds two instances per hop (``ids1``/``ids2``, ...),
+    declares the chain over them, and the operation migrates every hop
+    to its second instance tail-to-head. ``hop_guarantees`` overrides
+    the guarantee for individual hops (e.g. a deliberately-dirty NG
+    middle hop).
+    """
+
+    kind: str = "chain"
+    #: Ordered hop NF kinds (keys of the runner's ``NF_FACTORIES``).
+    hops: List[str] = field(default_factory=lambda: ["ids", "nat", "proxy"])
+    #: Absolute start time; ``None`` means "half the base trace".
+    at_ms: Optional[float] = None
+    prefix: str = "10.0.0.0/8"
+    guarantee: str = "lf"
+    hop_guarantees: Dict[str, str] = field(default_factory=dict)
+    #: Abort this many ms after the operation starts (None: never).
+    abort_at_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind != "chain":
+            raise ValueError("ChainOpSpec.kind must be 'chain'")
+        if not self.hops:
+            raise ValueError("a chain op needs at least one hop")
+
+    @property
+    def expected_dirty(self) -> bool:
+        levels = [
+            self.hop_guarantees.get(hop, self.guarantee)
+            for hop in self.hops
+        ]
+        return any(level in ("ng", "none") for level in levels)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChainOpSpec":
+        return cls(**data)
+
+
+@dataclass
 class ScheduleSpec:
     """One complete, deterministic conformance scenario."""
 
@@ -110,14 +154,23 @@ class ScheduleSpec:
     shards: int = 1
     ops: List[OpSpec] = field(default_factory=list)
     bursts: List[BurstSpec] = field(default_factory=list)
+    #: Chain-wide operations. When present, the runner swaps the classic
+    #: ``inst1..instN`` topology for the chain's per-hop instance pairs.
+    chains: List[ChainOpSpec] = field(default_factory=list)
 
     @property
     def expected_dirty(self) -> bool:
-        return any(op.expected_dirty for op in self.ops)
+        return any(op.expected_dirty for op in self.ops) or any(
+            chain.expected_dirty for chain in self.chains
+        )
 
     def label(self) -> str:
         axes = [self.nf]
         axes.extend("%s:%s" % (op.kind, op.guarantee) for op in self.ops)
+        axes.extend(
+            "chain[%s]:%s" % ("-".join(chain.hops), chain.guarantee)
+            for chain in self.chains
+        )
         if self.faults:
             axes.append("faults")
         if self.batching:
@@ -132,6 +185,7 @@ class ScheduleSpec:
         data = asdict(self)
         data["ops"] = [op.to_dict() for op in self.ops]
         data["bursts"] = [burst.to_dict() for burst in self.bursts]
+        data["chains"] = [chain.to_dict() for chain in self.chains]
         return data
 
     @classmethod
@@ -140,6 +194,9 @@ class ScheduleSpec:
         data["ops"] = [OpSpec.from_dict(op) for op in data.get("ops", [])]
         data["bursts"] = [
             BurstSpec.from_dict(b) for b in data.get("bursts", [])
+        ]
+        data["chains"] = [
+            ChainOpSpec.from_dict(c) for c in data.get("chains", [])
         ]
         return cls(**data)
 

@@ -1,5 +1,6 @@
 """The OpenNF controller: northbound API and its operations."""
 
+from repro.controller.chain import Chain, ChainOperation, ChainSpec
 from repro.controller.controller import OpenNFController
 from repro.controller.copy import CopyOperation
 from repro.controller.forwarding import SwitchClient
@@ -20,6 +21,9 @@ from repro.controller.sharding import (
 )
 
 __all__ = [
+    "Chain",
+    "ChainOperation",
+    "ChainSpec",
     "CopyOperation",
     "CrossShardOperation",
     "DeferredOperation",

@@ -568,11 +568,15 @@ class OpenNFController:
         self, src, dst, flt, scope="per", guarantee="loss-free",
         parallel=True, early_release=False, compress=False,
         peer_to_peer=False, drain_grace_ms=30.0,
+        route_actions=None, trace_attrs=None,
     ):
         """Build (start-closure, parsed guarantee) for a move.
 
         Split from :meth:`move` so a sharded plane can construct the
         operation on the owning replica after its own admission step.
+        ``route_actions``/``trace_attrs`` let a chain operation make each
+        hop move chain-aware (full action lists on reroute installs,
+        chain-scoped trace attributes) without widening ``move()``.
         """
         from repro.controller.move import Guarantee, MoveOperation
 
@@ -591,6 +595,8 @@ class OpenNFController:
                 compress=compress,
                 peer_to_peer=peer_to_peer,
                 drain_grace_ms=drain_grace_ms,
+                route_actions=route_actions,
+                trace_attrs=trace_attrs,
             )
 
         return start, parsed
@@ -651,6 +657,94 @@ class OpenNFController:
             )
 
         return start, consistency
+
+    def move_chain(
+        self,
+        chain: Any,
+        flt: Optional[Filter] = None,
+        dst_map: Optional[Dict[str, str]] = None,
+        guarantee: Any = "loss-free",
+        scope: Any = "per",
+        parallel: bool = True,
+        drain_grace_ms: float = 30.0,
+        hop_guarantees: Optional[Dict[str, Any]] = None,
+    ) -> Operation:
+        """``move_chain(chain, filter, dst_map, guarantee)``: chain-wide move.
+
+        Migrates every hop named in ``dst_map`` (hop name → destination
+        instance) tail-to-head under one composite
+        :class:`~repro.controller.chain.ChainOperation` handle, so no
+        packet ever crosses a half-migrated chain. ``hop_guarantees``
+        optionally overrides the guarantee per hop (by hop name).
+        """
+        start, parsed = self._chain_start(
+            chain, flt, dst_map, guarantee=guarantee, scope=scope,
+            parallel=parallel, drain_grace_ms=drain_grace_ms,
+            hop_guarantees=hop_guarantees,
+        )
+        use_flt = flt if flt is not None else chain.flt
+        return self._admit("chain", use_flt, start, guarantee=parsed)
+
+    def scale_chain(
+        self,
+        chain: Any,
+        hop: str,
+        new_instance: str,
+        flt: Optional[Filter] = None,
+        guarantee: Any = "loss-free",
+        scope: Any = "per",
+        parallel: bool = True,
+        drain_grace_ms: float = 30.0,
+    ) -> Operation:
+        """Split ``flt`` of one hop's flow space onto ``new_instance``.
+
+        A single-hop chain operation in scale mode: state matching
+        ``flt`` (a sub-space of the chain filter) moves from the hop's
+        active instance to ``new_instance``, which joins the hop's
+        instance set; the sub-filter keeps routing to the new instance
+        afterwards (recorded as a chain override).
+        """
+        start, parsed = self._chain_start(
+            chain, flt, {hop: new_instance}, guarantee=guarantee,
+            scope=scope, parallel=parallel, drain_grace_ms=drain_grace_ms,
+            mode="scale",
+        )
+        use_flt = flt if flt is not None else chain.flt
+        return self._admit("chain", use_flt, start, guarantee=parsed)
+
+    def _chain_start(
+        self, chain, flt=None, dst_map=None, guarantee="loss-free",
+        scope="per", parallel=True, drain_grace_ms=30.0,
+        hop_guarantees=None, mode="move",
+    ):
+        """Build (start-closure, parsed guarantee) for a chain operation.
+
+        Mirrors :meth:`_move_start` so the sharded plane can construct
+        the composite on the owning replica. The per-hop moves inside
+        the chain bypass admission — the chain's own reservation already
+        covers the filter.
+        """
+        from repro.controller.chain import ChainOperation
+        from repro.controller.move import Guarantee
+
+        parsed = Guarantee.parse(guarantee)
+        use_flt = flt if flt is not None else chain.flt
+
+        def start() -> ChainOperation:
+            return ChainOperation(
+                controller=self,
+                chain=chain,
+                flt=use_flt,
+                dst_map=dict(dst_map or {}),
+                guarantee=parsed,
+                scope=scope,
+                parallel=parallel,
+                drain_grace_ms=drain_grace_ms,
+                hop_guarantees=hop_guarantees,
+                mode=mode,
+            )
+
+        return start, parsed
 
     def notify(
         self,

@@ -37,7 +37,7 @@ controller's serialized inbox entirely.
 from __future__ import annotations
 
 import enum
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.flowspace.filter import Filter, FlowId
 from repro.net.flowtable import HIGH_PRIORITY, MID_PRIORITY
@@ -108,6 +108,8 @@ class MoveOperation(Operation):
         drain_grace_ms: float = 30.0,
         first_packet_timeout_ms: float = 40.0,
         counter_poll_ms: float = 8.0,
+        route_actions: Optional[Callable[[str], List[str]]] = None,
+        trace_attrs: Optional[Dict[str, str]] = None,
     ) -> None:
         if early_release and not parallel:
             raise ValueError("early release requires the parallelizing optimization")
@@ -134,6 +136,14 @@ class MoveOperation(Operation):
         self.counter_poll_ms = counter_poll_ms
         self.dst_port = controller.port_of(dst.name)
         self.src_port = controller.port_of(src.name)
+        #: How a forwarding target becomes a rule action list. The
+        #: default (identity) keeps classic moves byte-identical; a
+        #: chain-aware move supplies the full per-hop action list so
+        #: rerouting one hop never starves the chain's other hops.
+        self._route: Callable[[str], List[str]] = (
+            route_actions if route_actions is not None
+            else (lambda port: [port])
+        )
 
         self.report = OperationReport(
             kind="move",
@@ -147,6 +157,12 @@ class MoveOperation(Operation):
         #: Observability bundle shared with the owning controller; phase
         #: marks in :attr:`report` are derived from phase-span closes.
         self.obs = controller.obs
+        operation_attrs = dict(controller.trace_attrs)
+        if trace_attrs:
+            # Chain-scoped attributes (chain_id / hop) ride every hop
+            # move's trace so the chain auditor can stitch the per-hop
+            # causal slices back into one end-to-end story.
+            operation_attrs.update(trace_attrs)
         self.trace = self.obs.operation(
             self.sim,
             self.report,
@@ -156,7 +172,7 @@ class MoveOperation(Operation):
             src=src.name,
             dst=dst.name,
             scopes=",".join(s.value for s in scopes),
-            **controller.trace_attrs,
+            **operation_attrs,
         )
         if self.trace.root.span_id is not None:
             self.trace.root.set(op_id=self.trace.root.span_id)
@@ -318,7 +334,7 @@ class MoveOperation(Operation):
             yield from self._transfer_state(lock_per_chunk=False, parent=ph.span)
         with self.trace.phase("reroute", mark="rerouted"):
             yield self.switch.install(
-                self.flt, [self.dst_port], MID_PRIORITY
+                self.flt, self._route(self.dst_port), MID_PRIORITY
             )
 
     # -------------------------------------------------- LF / LF+OP (Figure 6)
@@ -360,7 +376,7 @@ class MoveOperation(Operation):
         if not order_preserving:
             with self.trace.phase("reroute", mark="rerouted"):
                 yield self.switch.install(
-                    self.flt, [self.dst_port], MID_PRIORITY
+                    self.flt, self._route(self.dst_port), MID_PRIORITY
                 )
             return
 
@@ -382,7 +398,9 @@ class MoveOperation(Operation):
                 "phase1-install", mark="phase1-installed", parent=fwd.span
             ):
                 yield self.switch.install(
-                    self.flt, [self.src_port, CONTROLLER_PORT], MID_PRIORITY
+                    self.flt,
+                    self._route(self.src_port) + [CONTROLLER_PORT],
+                    MID_PRIORITY,
                 )
 
             # wait(GOT_FIRST_PKT_FROM_SW) — with a timeout so a silent flow
@@ -402,7 +420,7 @@ class MoveOperation(Operation):
                 "phase2-install", mark="phase2-installed", parent=fwd.span
             ):
                 yield self.switch.install(
-                    self.flt, [self.dst_port], HIGH_PRIORITY
+                    self.flt, self._route(self.dst_port), HIGH_PRIORITY
                 )
 
             with self.trace.phase(
@@ -487,7 +505,7 @@ class MoveOperation(Operation):
         # 1. Redirect the flow space through the controller.
         with self.trace.phase("redirect", mark="redirected"):
             yield self.switch.install(
-                self.flt, [CONTROLLER_PORT], MID_PRIORITY
+                self.flt, self._route(CONTROLLER_PORT), MID_PRIORITY
             )
         # 2. Surface in-flight stragglers as events.
         with self.trace.phase("events-enabled"):
@@ -524,7 +542,7 @@ class MoveOperation(Operation):
         # 4. Hand the flow space to the destination.
         with self.trace.phase("reroute", mark="rerouted"):
             yield self.switch.install(
-                self.flt, [self.dst_port], HIGH_PRIORITY
+                self.flt, self._route(self.dst_port), HIGH_PRIORITY
             )
         with self.trace.phase("await-last-packet", mark=None) as await_ph:
             # Confirm the controller saw every redirected packet.

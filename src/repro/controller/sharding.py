@@ -441,6 +441,44 @@ class ShardedControlPlane:
             ),
         )
 
+    def move_chain(self, chain: Any, flt: Optional[Filter] = None,
+                   dst_map=None, guarantee: Any = "loss-free",
+                   scope: Any = "per", parallel: bool = True,
+                   drain_grace_ms: float = 30.0,
+                   hop_guarantees=None) -> Operation:
+        """Same contract as :meth:`OpenNFController.move_chain`.
+
+        The chain filter homes on one replica; the composite operation
+        (and every hop move inside it) runs there. Overlapping foreign
+        flow space triggers the usual cross-shard ownership handshake
+        before the first hop migrates.
+        """
+        use_flt = flt if flt is not None else chain.flt
+        return self._submit(
+            "chain", use_flt,
+            lambda home: home._chain_start(
+                chain, use_flt, dst_map, guarantee=guarantee, scope=scope,
+                parallel=parallel, drain_grace_ms=drain_grace_ms,
+                hop_guarantees=hop_guarantees,
+            ),
+        )
+
+    def scale_chain(self, chain: Any, hop: str, new_instance: str,
+                    flt: Optional[Filter] = None,
+                    guarantee: Any = "loss-free", scope: Any = "per",
+                    parallel: bool = True,
+                    drain_grace_ms: float = 30.0) -> Operation:
+        """Same contract as :meth:`OpenNFController.scale_chain`."""
+        use_flt = flt if flt is not None else chain.flt
+        return self._submit(
+            "chain", use_flt,
+            lambda home: home._chain_start(
+                chain, use_flt, {hop: new_instance}, guarantee=guarantee,
+                scope=scope, parallel=parallel,
+                drain_grace_ms=drain_grace_ms, mode="scale",
+            ),
+        )
+
     def notify(self, flt: Filter, inst: Any, enable: bool,
                callback=None):
         """Same contract as :meth:`OpenNFController.notify`.

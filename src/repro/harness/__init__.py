@@ -5,9 +5,11 @@ from repro.harness.scenarios import (
     LOCAL_NET_FILTER,
     MoveExperimentResult,
     build_multi_instance_deployment,
+    coerce_guarantee,
     run_move_experiment,
 )
 from repro.harness.properties import (
+    check_chain_loss_free,
     check_loss_free,
     check_order_preserving,
     merged_processing_order,
@@ -19,7 +21,9 @@ __all__ = [
     "LOCAL_NET_FILTER",
     "MoveExperimentResult",
     "build_multi_instance_deployment",
+    "coerce_guarantee",
     "run_move_experiment",
+    "check_chain_loss_free",
     "check_loss_free",
     "check_order_preserving",
     "merged_processing_order",

@@ -148,6 +148,40 @@ class Deployment:
             flt or Filter.wildcard(), LOW_PRIORITY, [nf_name], self.sim.now
         )
 
+    def chain(
+        self,
+        name: str,
+        hops,
+        flt: Optional[Filter] = None,
+        links=(),
+    ):
+        """Declare an NF chain and install its multicast data-path rule.
+
+        This is the one blessed way to construct a
+        :class:`~repro.controller.chain.Chain`. ``hops`` is an ordered
+        sequence of ``(hop_name, instances)`` pairs (``instances`` a
+        name or sequence of names; the first is initially active); every
+        named instance must already be attached via :meth:`add_nf`. The
+        data path is a single rule over the chain filter whose action
+        list carries one port per hop, so the switch delivers each
+        matching packet to every hop's active instance.
+        """
+        from repro.controller.chain import Chain, ChainSpec
+
+        spec = ChainSpec(name, hops, flt or Filter.wildcard(), links=links)
+        for _, instances in spec.hops:
+            for inst in instances:
+                if inst not in self.nfs:
+                    raise ValueError(
+                        "chain %r names unknown instance %r "
+                        "(add_nf it first)" % (name, inst)
+                    )
+        chain = Chain(self.controller, spec)
+        self.switch.table.install(
+            spec.flt, LOW_PRIORITY, chain.active_ports(), self.sim.now
+        )
+        return chain
+
     def inject(self, packet: Packet) -> None:
         """Entry point for generated traffic (the switch's ingress)."""
         self.switch.inject(packet)

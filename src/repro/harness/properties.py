@@ -91,6 +91,31 @@ def check_loss_free(
     return False, "missing=%s duplicated=%s" % (missing[:10], duplicated[:10])
 
 
+def check_chain_loss_free(
+    switch: Switch,
+    hops: Sequence[Tuple[str, Sequence]],
+    uids: Optional[Set[int]] = None,
+) -> Tuple[bool, str]:
+    """Chain-wide loss-freedom: every packet crosses *every* hop once.
+
+    A chain's data path is one multicast rule, so :func:`check_loss_free`
+    run across all chain instances at once would misread the (by design)
+    N-fold processing as duplication. The chain property is per hop:
+    restricted to each hop's instance set, every packet the switch
+    forwarded towards that hop is processed by exactly one of its
+    instances. ``hops`` is an ordered sequence of
+    ``(hop_name, [nf, ...])`` pairs; failures cite the hop by name.
+    """
+    failures: List[str] = []
+    for hop_name, nfs in hops:
+        ok, detail = check_loss_free(switch, nfs, uids)
+        if not ok:
+            failures.append("hop %r: %s" % (hop_name, detail))
+    if not failures:
+        return True, ""
+    return False, "; ".join(failures)
+
+
 def _per_flow_uid_map(packets) -> Dict[Tuple, List[int]]:
     flows: Dict[Tuple, List[int]] = {}
     for packet in packets:

@@ -41,7 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 #: Operation kinds whose window intercepts live packets (and must
 #: therefore be loss-free, modulo the baseline's deliberate defect).
-PACKET_OPS = ("move", "splitmerge-migrate", "share")
+PACKET_OPS = ("move", "splitmerge-migrate", "share", "chain")
 #: Operation kinds that relocate state chunks.
 STATE_OPS = ("move", "copy", "splitmerge-migrate")
 
@@ -273,21 +273,39 @@ class LossFreeAuditor(_Auditor):
             self._capture(record.get("uid"), op, record.get("flow"))
         elif name == "nf.process":
             uid = record.get("uid")
-            entry = self.pending.pop(uid, None)
+            nf = record.get("nf")
+            entry = self.pending.get(uid)
             if entry is not None:
+                # Only the capturing operation's own instances can repay
+                # the owed processing: on a multicast chain data path the
+                # same uid is (by design) processed once per hop, and a
+                # sibling hop's processing is neither the release nor a
+                # duplicate.
+                if not self._involves(entry[0], nf):
+                    return
+                self.pending.pop(uid, None)
                 self.done[uid] = entry[0]
                 return
-            op = self.done.get(uid)
             if uid in self.done:
+                op = self.done.get(uid)
+                if not self._involves(op, nf):
+                    return
                 self.emit(Violation(
                     "loss-free",
                     record.get("time_ms", 0.0),
                     op.trace_id if op else None,
                     op.kind if op else None,
-                    nf=record.get("nf"),
+                    nf=nf,
                     flow=record.get("flow"),
                     detail="packet uid=%s processed more than once" % uid,
                 ))
+
+    @staticmethod
+    def _involves(op: Optional[_Op], nf: Optional[str]) -> bool:
+        """Whether ``nf`` belongs to ``op`` (permissive when unknown)."""
+        if op is None or not op.nfs or nf is None:
+            return True
+        return nf in op.nfs
 
     def finalize(self) -> None:
         for uid, (op, flow, span_ids) in sorted(self.pending.items()):
@@ -359,6 +377,177 @@ class OrderAuditor(_Auditor):
             del self.watched[op.dst]
             for key in [k for k in self.last_uid if k[0] == op.dst]:
                 del self.last_uid[key]
+
+
+class ChainAuditor(_Auditor):
+    """End-to-end guarantees for chain-wide operations.
+
+    A chain's data path multicasts every matching packet to each hop's
+    active instance, so the per-NF auditors can only vouch for one hop
+    at a time. This auditor reads the ``hops`` attribute off a chain
+    operation's ``op.start`` record (``hop=inst1/inst2|...`` — every
+    hop with its full instance set, migration targets included) and
+    checks the *chain-level* properties across the whole window:
+
+    * **chain-loss-free** — every packet first processed during the
+      window is eventually processed by exactly one instance of *every*
+      hop; a missing hop is cited by name, an extra processing at a hop
+      fires immediately.
+    * **chain-order** — for order-preserving chains, each hop's
+      processing stream stays uid-monotonic per flow (uids are minted
+      in injection order).
+
+    Packets injected before the window are excluded: uids are minted in
+    injection order, so any uid not greater than the largest uid already
+    processed anywhere when the operation starts predates the window —
+    its sibling-hop processings may have happened before the auditor
+    was watching and would read as losses. (A time-based grace window is
+    not enough: a backlogged hop can first process a pre-window packet
+    tens of milliseconds into the window.) Packets still in flight when
+    the operation closes keep accumulating until :meth:`finalize` — run
+    the simulation to quiescence first.
+    """
+
+    def __init__(self, registry: OpRegistry, emit) -> None:
+        self.registry = registry
+        self.emit = emit
+        registry.on_close(self.on_op_close)
+        #: Chain contexts, open and closed (closed ones keep counting
+        #: in-flight packets until finalize).
+        self.chains: List[Dict[str, Any]] = []
+        #: Largest uid seen in any ``nf.process`` record so far — the
+        #: pre-window/in-window dividing line at chain-op start.
+        self._max_uid_processed = -1
+
+    def on_record(self, record: Dict[str, Any]) -> None:
+        name = record.get("name")
+        if name == "op.start":
+            self._maybe_open(record)
+            return
+        if name != "nf.process":
+            return
+        nf = record.get("nf")
+        uid = record.get("uid")
+        if nf is None or uid is None:
+            return
+        if uid > self._max_uid_processed:
+            self._max_uid_processed = uid
+        for ctx in self.chains:
+            hop = ctx["nf_hop"].get(nf)
+            if hop is None:
+                continue
+            self._observe_processing(ctx, record, hop, uid)
+
+    def _maybe_open(self, record: Dict[str, Any]) -> None:
+        if record.get("kind") != "chain":
+            return
+        hops: List[Tuple[str, Set[str]]] = []
+        for part in str(record.get("hops", "")).split("|"):
+            if "=" not in part:
+                continue
+            hop_name, instances = part.split("=", 1)
+            members = {i for i in instances.split("/") if i}
+            if members:
+                hops.append((hop_name, members))
+        if not hops:
+            return
+        self.chains.append({
+            "trace_id": record.get("trace_id"),
+            "chain": record.get("chain"),
+            "uid_floor": self._max_uid_processed,
+            "started_ms": record.get("time_ms", 0.0),
+            "closed_ms": None,
+            "open": True,
+            "aborted": None,
+            "order_preserving": "order-preserving"
+                                in (record.get("guarantee") or ""),
+            "hop_order": [hop for hop, _ in hops],
+            "nf_hop": {
+                inst: hop for hop, members in hops for inst in members
+            },
+            #: uid -> {hop: count}; None marks an excluded straddler.
+            "seen": {},
+            #: (hop, flow) -> last uid processed (order check).
+            "last_uid": {},
+        })
+
+    def _observe_processing(
+        self, ctx: Dict[str, Any], record: Dict[str, Any], hop: str, uid: int
+    ) -> None:
+        seen = ctx["seen"]
+        time_ms = record.get("time_ms", 0.0)
+        if uid not in seen:
+            if not ctx["open"]:
+                return  # first appeared after the window: not ours
+            if uid <= ctx["uid_floor"]:
+                return  # injected before the window: not ours
+            seen[uid] = {}
+        counts = seen[uid]
+        if counts is None:
+            return
+        counts[hop] = counts.get(hop, 0) + 1
+        if counts[hop] > 1:
+            self.emit(Violation(
+                "chain-loss-free",
+                time_ms,
+                ctx["trace_id"],
+                "chain",
+                nf=record.get("nf"),
+                flow=record.get("flow"),
+                detail="packet uid=%s processed more than once at hop %r"
+                       % (uid, hop),
+            ))
+        if ctx["order_preserving"]:
+            flow = record.get("flow")
+            if flow is not None:
+                key = (hop, flow)
+                last = ctx["last_uid"].get(key)
+                if last is not None and uid < last:
+                    self.emit(Violation(
+                        "chain-order",
+                        time_ms,
+                        ctx["trace_id"],
+                        "chain",
+                        nf=record.get("nf"),
+                        flow=flow,
+                        detail="hop %r processed uid=%s after uid=%s"
+                               % (hop, uid, last),
+                    ))
+                ctx["last_uid"][key] = uid
+
+    def on_op_close(self, op: _Op) -> None:
+        if op.kind != "chain":
+            return
+        for ctx in self.chains:
+            if ctx["trace_id"] == op.trace_id and ctx["open"]:
+                ctx["open"] = False
+                ctx["closed_ms"] = op.closed_ms
+                ctx["aborted"] = op.aborted
+
+    def finalize(self) -> None:
+        for ctx in self.chains:
+            if ctx["aborted"] is not None:
+                # An aborted chain's contract is restoration; the
+                # rollback window legitimately re-captures packets.
+                continue
+            for uid, counts in sorted(ctx["seen"].items()):
+                if counts is None:
+                    continue
+                missing = [
+                    hop for hop in ctx["hop_order"]
+                    if counts.get(hop, 0) == 0
+                ]
+                for hop in missing:
+                    self.emit(Violation(
+                        "chain-loss-free",
+                        ctx["closed_ms"] or ctx["started_ms"],
+                        ctx["trace_id"],
+                        "chain",
+                        nf=hop,
+                        detail="packet uid=%s never crossed hop %r of "
+                               "chain %r" % (uid, hop, ctx["chain"]),
+                    ))
+        self.chains = []
 
 
 class StateConservationAuditor(_Auditor):
@@ -482,6 +671,7 @@ class AuditPipeline:
         self.auditors: List[_Auditor] = [
             LossFreeAuditor(self.registry, emit),
             OrderAuditor(self.registry, emit),
+            ChainAuditor(self.registry, emit),
             StateConservationAuditor(self.registry, emit),
             ShareSerializationAuditor(self.registry, emit),
         ]

@@ -45,6 +45,43 @@ class TestCli:
             main(["frobnicate"])
 
 
+class TestChainCommand:
+    def test_chain_move_clean(self, capsys):
+        code = main(["chain", "--guarantee", "lf", "--flows", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chain[loss-free]" in out
+        assert "chain loss-free: yes" in out
+        assert "actives: ids=ids2" in out
+        # Tail-to-head: the proxy hop's move is reported first.
+        assert out.index("hop proxy1") < out.index("hop ids1")
+
+    def test_chain_ng_hop_reports_violations(self, capsys):
+        # The default 40-flow trace keeps packets in flight through the
+        # NG hop's migration window (20 flows would slip through clean).
+        code = main(["chain", "--guarantee", "lf",
+                     "--hop-guarantee", "nat=ng"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "chain loss-free: NO" in out
+        assert "never crossed hop 'nat'" in out
+
+    def test_chain_abort_rolls_back(self, capsys):
+        code = main(["chain", "--guarantee", "lf", "--flows", "20",
+                     "--abort-at", "120"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ABORTED" in out
+        assert "rolled back hop" in out
+        assert "actives: ids=ids1" in out
+
+    def test_chain_rejects_unknown_hop_override(self, capsys):
+        code = main(["chain", "--hop-guarantee", "firewall=ng"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown hop" in err
+
+
 @pytest.mark.obs
 class TestTraceCommand:
     def test_trace_renders_timeline(self, capsys):

@@ -14,6 +14,12 @@ Three bugs, each pinned here:
 Plus the abort-while-deferred race: an abort landing in the same sim
 timestamp as the last conflict's ``done`` must not launch the operation
 after its ``done`` already triggered with the deferred-abort report.
+
+And the chain-level twin of that race: a ``ChainOperation.abort``
+landing in the same timestamp as the in-flight hop move's completion
+must treat that hop as *completed* (one reverse move during rollback),
+never forward a stale cancellation into a hop whose release barrier has
+already drained.
 """
 
 import pytest
@@ -213,3 +219,74 @@ class TestAbortWhileDeferred:
         # And the state actually moved only once (first op).
         assert b.conn_count() == 4
         assert c.conn_count() == 0
+
+
+class TestChainAbortRacingHopCompletion:
+    def test_abort_at_hop_done_timestamp_rolls_back_exactly_once(self):
+        """Chain abort racing a hop's release barrier in one timestamp.
+
+        The abort fires from the in-flight hop move's own ``done``
+        callback — the exact instant the hop completes. The guard on
+        ``ChainOperation.abort`` must see ``done.triggered`` and NOT
+        forward the cancellation into the hop (its buffered packets are
+        released, its state is live at the destination); instead the
+        chain's next checkpoint aborts the composite and the completed
+        hop is rolled back exactly once by one reverse move.
+        """
+        from repro.harness import LOCAL_NET_FILTER
+        from repro.nfs.monitor import AssetMonitor
+        from repro.traffic.replay import TraceReplayer
+        from repro.traffic.traces import (
+            TraceConfig,
+            build_university_cloud_trace,
+        )
+        from repro.harness.deployment import Deployment
+
+        dep = Deployment()
+        nfs = {}
+        hops = [("a", ("a1", "a2")), ("b", ("b1", "b2"))]
+        for _, names in hops:
+            for name in names:
+                nf = AssetMonitor(dep.sim, name)
+                dep.add_nf(nf)
+                nfs[name] = nf
+        chain = dep.chain("pair", hops, flt=LOCAL_NET_FILTER)
+        trace = build_university_cloud_trace(TraceConfig(
+            seed=5, n_flows=30, data_packets=8,
+        ))
+        replayer = TraceReplayer(dep.sim, dep.inject, trace.packets,
+                                 rate_pps=2500.0)
+        replayer.start()
+        holder = {}
+
+        def kickoff():
+            holder["op"] = dep.controller.move_chain(
+                chain, LOCAL_NET_FILTER, {"a": "a2", "b": "b2"},
+                guarantee="lf",
+            )
+
+        def attach():
+            op = holder["op"]
+            assert op._current is not None, "no hop move in flight"
+            holder["hop"] = op._current
+            op._current.done.add_callback(
+                lambda _evt: op.abort("raced hop completion")
+            )
+
+        kick_at = replayer.duration_ms / 2.0
+        dep.sim.schedule(kick_at, kickoff)
+        dep.sim.schedule(kick_at + 1.0, attach)
+        dep.sim.run()
+
+        op = holder["op"]
+        report = op.done.value
+        assert report.aborted == "aborted: raced hop completion"
+        # The racing hop (the tail, hop "b") completed cleanly — its own
+        # report carries no abort — and was rolled back exactly once.
+        assert holder["hop"].report.aborted is None
+        assert [r.src for r in op.hop_reports] == ["b1"]
+        assert report.notes == ["rolled back hop 'b'"]
+        # The head hop never launched; every active is back at the
+        # original instance and the admission table drained.
+        assert [hop.active for hop in chain.hops] == ["a1", "b1"]
+        assert dep.controller._admission == {}
