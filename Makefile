@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale bench-sharded bench-chain examples validate clean results
+.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale bench-sharded bench-chain bench-offload examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,6 +21,9 @@ bench-sharded:
 
 bench-chain:
 	$(PYTHON) benchmarks/bench_chain.py
+
+bench-offload:
+	$(PYTHON) benchmarks/bench_offload.py
 
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs

@@ -15,8 +15,10 @@ Usage::
     python -m repro.cli conform tests/corpus/abort-racing-put.schedule.json
     python -m repro.cli conform --replay tests/corpus
     python -m repro.cli conform --hunt splitmerge --corpus-dir tests/corpus
+    python -m repro.cli conform --offload --shards 2
     python -m repro.cli chain --guarantee lf --shards 2
     python -m repro.cli chain --hop-guarantee nat=ng
+    python -m repro.cli offload --guarantee lf --flows 500
     python -m repro.cli version
 
 ``demo-move`` runs one instrumented move between two PRADS-like
@@ -145,6 +147,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: $OPENNF_FAULTS if set)")
     audit.add_argument("--batching", action="store_true",
                        help="live run: batch control-plane messages")
+    audit.add_argument("--offload", action="store_true",
+                       help="live run: buffer the move window in "
+                            "switch-local state machines (data-plane "
+                            "offload)")
     audit.add_argument("--abort-at", type=float, default=None, metavar="MS",
                        help="live run: abort the operation this many ms "
                             "after it starts (exercises the recorder)")
@@ -196,6 +202,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="run schedules against a sharded control "
                               "plane of N controller replicas "
                               "(default 1: the classic controller)")
+    conform.add_argument("--offload", action="store_true",
+                         help="run schedules with data-plane offload on "
+                              "(LF/LF+OP moves buffer at the switch)")
     conform.add_argument("--verbose", action="store_true",
                          help="print every matrix cell, not just "
                               "failures and the summary")
@@ -227,6 +236,24 @@ def _build_parser() -> argparse.ArgumentParser:
     chain.add_argument("--abort-at", type=float, default=None, metavar="MS",
                        help="abort the chain operation this many ms after "
                             "it starts (exercises hop rollback)")
+
+    offload = sub.add_parser(
+        "offload",
+        help="run the same move with and without data-plane offload "
+             "(switch-local buffer/release state machines) and print "
+             "the control-message and latency deltas",
+    )
+    offload.add_argument("--guarantee", default="loss-free",
+                         type=_guarantee, metavar="LEVEL",
+                         help="move safety level (lf or lf+op offload; "
+                              "any Guarantee alias)")
+    offload.add_argument("--flows", type=int, default=200)
+    offload.add_argument("--rate", type=float, default=4000.0,
+                         help="replay rate in packets/second")
+    offload.add_argument("--seed", type=int, default=7)
+    offload.add_argument("--batching", action="store_true",
+                         help="batch control-plane messages in both runs "
+                              "(the bench baseline)")
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -454,6 +481,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         audit=True,
         fault_plan=_fault_plan_from(args.faults),
         batching=True if args.batching else None,
+        offload=True if args.offload else None,
     )
     obs = result.deployment.obs
     print(result.report.summary())
@@ -537,6 +565,8 @@ def _cmd_conform(args: argparse.Namespace) -> int:
         spec = ScheduleSpec.from_dict(data.get("schedule", data))
         if args.shards > 1:
             spec.shards = args.shards
+        if args.offload:
+            spec.offload = True
         result = run_schedule(spec)
         print(result.summary())
         for violation in result.violations:
@@ -560,7 +590,7 @@ def _cmd_conform(args: argparse.Namespace) -> int:
     failed = []
     expected_dirty = 0
     for cell in cells:
-        result = run_cell(cell, shards=args.shards)
+        result = run_cell(cell, shards=args.shards, offload=args.offload)
         if result.clean:
             if args.verbose:
                 print("%-40s clean" % cell.label())
@@ -667,6 +697,49 @@ def _cmd_chain(args: argparse.Namespace) -> int:
     return 1 if (dep.obs.violations() or not ok) else 0
 
 
+def _count_control_messages(dep) -> int:
+    """Total control-channel frames: every NF client plus the switch."""
+    ctrl = dep.controller
+    total = sum(
+        client.to_nf.messages_sent + client.from_nf.messages_sent
+        for client in ctrl.clients.values()
+    )
+    sw = ctrl.switch_client
+    return total + sw.to_switch.messages_sent + sw.from_switch.messages_sent
+
+
+def _cmd_offload(args: argparse.Namespace) -> int:
+    rows = []
+    for label, offload in (("classic", False), ("offload", True)):
+        result = run_move_experiment(
+            guarantee=args.guarantee,
+            n_flows=args.flows,
+            rate_pps=args.rate,
+            seed=args.seed,
+            batching=True if args.batching else None,
+            offload=offload,
+        )
+        messages = _count_control_messages(result.deployment)
+        rows.append((result, messages))
+        print("%-8s %s" % (label, result.report.summary()))
+        print("         control messages: %-6d move latency: %.1f ms   "
+              "switch-buffered: %d   loss-free: %s   order: %s"
+              % (messages, result.report.duration_ms,
+                 result.report.packets_buffered_at_switch,
+                 "yes" if result.loss_free else "NO",
+                 "yes" if result.order_preserving else "NO"))
+    (base, base_msgs), (fast, fast_msgs) = rows
+    if fast_msgs and fast.report.duration_ms:
+        print("offload delta: %.1fx fewer control messages, "
+              "%.1fx lower move latency"
+              % (base_msgs / float(fast_msgs),
+                 base.report.duration_ms / fast.report.duration_ms))
+    bad = any(
+        r.report.aborted or not r.loss_free for r, _ in rows
+    )
+    return 1 if bad else 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     result = run_move_experiment(
         guarantee=args.guarantee,
@@ -737,6 +810,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_conform(args)
     if args.command == "chain":
         return _cmd_chain(args)
+    if args.command == "offload":
+        return _cmd_offload(args)
     return 2
 
 

@@ -96,7 +96,9 @@ def matrix_cells() -> List[Cell]:
     ]
 
 
-def spec_for_cell(cell: Cell, shards: int = 1) -> ScheduleSpec:
+def spec_for_cell(
+    cell: Cell, shards: int = 1, offload: bool = False
+) -> ScheduleSpec:
     """The canonical small schedule exercising one matrix cell.
 
     Sized so every flow has state before the operation fires and the
@@ -118,6 +120,7 @@ def spec_for_cell(cell: Cell, shards: int = 1) -> ScheduleSpec:
         faults=MATRIX_FAULTS if cell.faults else None,
         batching=cell.batching,
         shards=shards,
+        offload=offload,
         ops=[op],
         bursts=[BurstSpec(at_ms=8.0, client="10.0.1.77", port=40000,
                           packets=3)],
@@ -302,6 +305,7 @@ def run_schedule(
         faults=spec.faults,
         batching=True if spec.batching else None,
         shards=spec.shards,
+        offload=spec.offload,
     )
     instances = []
     chain_hops: List[Tuple[str, List[Any]]] = []
@@ -457,7 +461,7 @@ def _check_completeness(dep: Deployment, handles: List[dict]):
 
 
 def run_cell(cell: Cell, keep_deployment: bool = False,
-             shards: int = 1) -> ConformanceResult:
+             shards: int = 1, offload: bool = False) -> ConformanceResult:
     """Run one matrix cell's canonical schedule."""
-    return run_schedule(spec_for_cell(cell, shards=shards),
+    return run_schedule(spec_for_cell(cell, shards=shards, offload=offload),
                         keep_deployment=keep_deployment)

@@ -152,6 +152,9 @@ class ScheduleSpec:
     #: Controller replicas; >1 runs the schedule against a
     #: :class:`~repro.controller.sharding.ShardedControlPlane`.
     shards: int = 1
+    #: Data-plane offload: LF / LF+OP moves buffer the window in
+    #: switch-local XFSMs instead of eventing packets to the controller.
+    offload: bool = False
     ops: List[OpSpec] = field(default_factory=list)
     bursts: List[BurstSpec] = field(default_factory=list)
     #: Chain-wide operations. When present, the runner swaps the classic
@@ -177,6 +180,8 @@ class ScheduleSpec:
             axes.append("batching")
         if self.shards > 1:
             axes.append("shards%d" % self.shards)
+        if self.offload:
+            axes.append("offload")
         return "/".join(axes)
 
     # -------------------------------------------------------------- round-trip

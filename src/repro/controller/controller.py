@@ -77,9 +77,16 @@ class OpenNFController:
         faults=None,
         retry=None,
         batching: Optional[BatchConfig] = None,
+        offload: bool = False,
     ) -> None:
         self.sim = sim
         self.obs = obs or NULL_OBS
+        #: Data-plane offload (switch-local XFSM buffering): when True,
+        #: loss-free and order-preserving moves install a
+        #: buffer-until-release machine at the switch instead of
+        #: buffering per-packet events at the controller. ``False``
+        #: keeps the classic event path byte-identical.
+        self.offload = bool(offload)
         #: Optional :class:`repro.net.channel.BatchConfig`. Installing
         #: one turns on the §8.3 fast path everywhere: queued sends
         #: coalesce into frames, chunk streams ship multi-chunk frames
@@ -175,6 +182,8 @@ class OpenNFController:
                 latency_ms=self.sw_channel_latency_ms, obs=self.obs,
             ),
             obs=self.obs,
+            reliable=self.reliable,
+            retry=self.retry,
         )
         self._attach_faults(self.switch_client.to_switch)
         self._attach_faults(self.switch_client.from_switch)

@@ -9,16 +9,25 @@ exactly where Split/Merge reorders packets).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+import itertools
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.flowspace.filter import Filter
 from repro.net.channel import ControlChannel
 from repro.net.packet import Packet
 from repro.net.switch import Switch
+from repro.net.xfsm import BufferUntilRelease
+from repro.nf.southbound import (
+    REQUEST_ID_BYTES,
+    RetryPolicy,
+    SouthboundTimeout,
+)
 from repro.obs import NULL_OBS
 from repro.sim.core import Event, Simulator
 
 _MSG_BYTES = 128
+
+_xfsm_rpc_ids = itertools.count(1)
 
 
 class SwitchClient:
@@ -31,10 +40,18 @@ class SwitchClient:
         to_switch: Optional[ControlChannel] = None,
         from_switch: Optional[ControlChannel] = None,
         obs=None,
+        reliable: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.sim = sim
         self.switch = switch
         self.obs = obs or NULL_OBS
+        #: When True (a fault plan is installed) the XFSM control calls
+        #: carry request ids, retry on a timeout, and are deduplicated
+        #: switch-side; False keeps the classic single-send path.
+        self.reliable = reliable
+        self.retry = retry or RetryPolicy()
+        self.rpc_retries = 0
         self.to_switch = to_switch or ControlChannel(
             sim, name="ctrl->sw", obs=self.obs
         )
@@ -199,4 +216,122 @@ class SwitchClient:
             self.from_switch.send(_MSG_BYTES, done.trigger, counters)
 
         self.to_switch.send(_MSG_BYTES, at_switch)
+        return done
+
+    # -------------------------------------------- XFSM (data-plane offload)
+
+    def _send_command(
+        self, label: str, size: int, at_switch: Callable[[], None], done: Event
+    ) -> None:
+        """One southbound switch command, retried with an id when reliable.
+
+        The classic path is a single plain send (an ordering barrier:
+        pending batch frames — e.g. queued packet-outs — flush first, so
+        a release can never overtake packets the controller emitted
+        before it). The reliable path adds a request id, switch-side
+        dedup, and capped-backoff retries until ``done`` resolves.
+        """
+        if not self.reliable:
+            self.to_switch.send(size, at_switch)
+            return
+        request_id = next(_xfsm_rpc_ids)
+
+        def deliver() -> None:
+            if self.switch.xfsm_rpc_deliver(request_id):
+                at_switch()
+
+        self._retry_loop(label, size + REQUEST_ID_BYTES, deliver, done)
+
+    def _retry_loop(
+        self, label: str, size: int, deliver: Callable[[], None], done: Event
+    ) -> None:
+        """Resend ``deliver`` with capped backoff until ``done`` resolves."""
+        state = {"settled": False, "attempt": 0}
+        done.add_callback(lambda _evt: state.update(settled=True))
+
+        def attempt() -> None:
+            if state["settled"]:
+                return
+            if state["attempt"] >= self.retry.max_attempts:
+                done.fail(SouthboundTimeout(
+                    "switch rpc %s exhausted %d attempts"
+                    % (label, self.retry.max_attempts),
+                    self.switch.name,
+                ))
+                return
+            timeout = self.retry.timeout_for(state["attempt"])
+            if state["attempt"] > 0:
+                self.rpc_retries += 1
+                if self.obs.enabled:
+                    self.obs.metrics.counter("sw.rpc_retries").inc(
+                        1, sw=self.switch.name, rpc=label
+                    )
+            state["attempt"] += 1
+            self.to_switch.send(size, deliver)
+            self.sim.schedule(timeout, attempt)
+
+        attempt()
+
+    def install_state_machine(
+        self, flt: Filter, spec: BufferUntilRelease
+    ) -> Event:
+        """Ship an XFSM to the switch in ONE control message.
+
+        The event fires once the machine is active (after the flow-mod
+        delay, consistent-update semantics) — from that moment matching
+        packets park in switch-local rings instead of travelling to the
+        source NF.
+        """
+        done = self.sim.event("xfsm-install@sw")
+
+        def at_switch() -> None:
+            self.switch.install_state_machine(flt, spec).add_callback(
+                lambda _evt: None if done.triggered else done.trigger()
+            )
+
+        self._send_command("xfsm_install", _MSG_BYTES, at_switch, done)
+        return self._observe_flowmod("xfsm_install", done, flt)
+
+    def remove_state_machine(self, flt: Filter) -> Event:
+        """Retire the machine(s) over ``flt``; fires once removal applies."""
+        done = self.sim.event("xfsm-remove@sw")
+
+        def at_switch() -> None:
+            self.switch.remove_state_machine(flt).add_callback(
+                lambda _evt: None if done.triggered else done.trigger()
+            )
+
+        self._send_command("xfsm_remove", _MSG_BYTES, at_switch, done)
+        return self._observe_flowmod("xfsm_remove", done, flt)
+
+    def release_state_machine(self, flt: Filter, port: str) -> Event:
+        """ONE release message: flush matching buffered packets to ``port``.
+
+        This replaces the classic per-packet packet-out storm — the
+        switch flushes its rings locally, in order, into the rate-capped
+        packet-out path. Fires with the number of packets flushed.
+        """
+        done = self.sim.event("xfsm-release@sw")
+        request_id = next(_xfsm_rpc_ids)
+
+        def at_switch() -> None:
+            if not self.switch.xfsm_rpc_deliver(request_id):
+                return
+            flushed = self.switch.release_state_machine(flt, port)
+
+            def respond() -> None:
+                self.from_switch.send(
+                    _MSG_BYTES,
+                    lambda: None if done.triggered else done.trigger(flushed),
+                )
+
+            self.switch.xfsm_rpc_complete(request_id, respond)
+            respond()
+
+        if not self.reliable:
+            self.to_switch.send(_MSG_BYTES, at_switch)
+            return done
+        self._retry_loop(
+            "xfsm_release", _MSG_BYTES + REQUEST_ID_BYTES, at_switch, done
+        )
         return done

@@ -136,6 +136,17 @@ class MoveOperation(Operation):
         self.counter_poll_ms = counter_poll_ms
         self.dst_port = controller.port_of(dst.name)
         self.src_port = controller.port_of(src.name)
+        #: Data-plane offload: buffer the window at the switch in an
+        #: XFSM instead of eventing every packet to the controller.
+        #: Only the LF / LF+OP fast paths offload — NONE has nothing to
+        #: buffer and the strong variant *requires* the controller as
+        #: the serialization point. ``controller.offload`` is False by
+        #: default, keeping the classic timeline byte-identical.
+        self.offload = bool(getattr(controller, "offload", False)) and (
+            guarantee in (Guarantee.LOSS_FREE, Guarantee.ORDER_PRESERVING)
+        )
+        #: True once the machine is installed (drives abort cleanup).
+        self._xfsm_installed = False
         #: How a forwarding target becomes a rule action list. The
         #: default (identity) keeps classic moves byte-identical; a
         #: chain-aware move supplies the full per-hop action list so
@@ -229,6 +240,10 @@ class MoveOperation(Operation):
                 yield from self._run_no_guarantee()
             elif self.guarantee is Guarantee.ORDER_PRESERVING_STRONG:
                 yield from self._run_strong_order_preserving()
+            elif self.offload:
+                yield from self._run_offloaded(
+                    order_preserving=self.guarantee is Guarantee.ORDER_PRESERVING
+                )
             else:
                 yield from self._run_loss_free(
                     order_preserving=self.guarantee is Guarantee.ORDER_PRESERVING
@@ -254,8 +269,19 @@ class MoveOperation(Operation):
             try:
                 if not dst_down:
                     self._flush_queues(
-                        mark=self.guarantee is not Guarantee.LOSS_FREE
+                        mark=not self.offload
+                        and self.guarantee is not Guarantee.LOSS_FREE
                     )
+                    if self._xfsm_installed:
+                        # Crash mid-offload: hand the switch rings to
+                        # the destination and retire the machine — the
+                        # same packets the classic path would have
+                        # flushed from the controller's buffer.
+                        yield self.switch.release_state_machine(
+                            self.flt, self.dst_port
+                        )
+                        yield self.switch.remove_state_machine(self.flt)
+                        self._xfsm_installed = False
                 elif not src_down:
                     # Destination died: restore the already-exported (and
                     # deleted) state to the source, stop intercepting
@@ -285,6 +311,15 @@ class MoveOperation(Operation):
                             )
                     yield self.src.disable_events_covered(self.flt)
                     self._flush_queues(mark=False, port=self.src_port)
+                    if self._xfsm_installed:
+                        # Destination died mid-offload: the restored
+                        # source keeps serving, so the rings flush back
+                        # to it and the machine comes out.
+                        yield self.switch.release_state_machine(
+                            self.flt, self.src_port
+                        )
+                        yield self.switch.remove_state_machine(self.flt)
+                        self._xfsm_installed = False
                 if not src_down:
                     yield self.src.disable_events_covered(self.flt)
             except (NFCrash, SouthboundError) as recovery_exc:
@@ -457,6 +492,81 @@ class MoveOperation(Operation):
         # dstInst.disableEvents(filter): release the destination buffer.
         with self.trace.phase("dst-release", mark="dst-released"):
             yield self.dst.disable_events(self.flt)
+
+    # ------------------------------------------- offloaded LF / LF+OP (XFSM)
+
+    def _run_offloaded(self, order_preserving: bool):
+        """The move fast path: buffer the window at the switch, not here.
+
+        One ``install_state_machine`` message parks every in-window
+        packet in switch-local rings; one ``release`` message flushes
+        them — in arrival order — straight to the destination port. The
+        per-packet NF→controller event round trip and the packet-out
+        storm both disappear, and so does Figure 6's two-phase
+        forwarding update: the machine already guarantees the
+        destination sees the window in switch arrival order, for the
+        loss-free and order-preserving guarantees alike.
+
+        The controller's classic event buffer still catches stragglers —
+        packets that passed the flow table before the machine activated
+        (in flight to the source, or queued in it). They are earlier in
+        switch order than anything the machine holds, and they flush on
+        the same channel *before* the release message, so global order
+        survives.
+        """
+        from repro.net.xfsm import BufferUntilRelease
+
+        with self.trace.phase("xfsm-install", mark="xfsm-installed"):
+            yield self.switch.install_state_machine(
+                self.flt, BufferUntilRelease(trace_id=self.trace.trace_id)
+            )
+        self._xfsm_installed = True
+
+        self._buffering = True
+        self._interest_handles.append(
+            self.controller.add_event_interest(
+                self.src.name, self.flt, self._on_src_event
+            )
+        )
+        if not self.early_release:
+            # Stragglers surface as classic DROP events (late locking
+            # covers them per flow when early release is on).
+            with self.trace.phase("events-enabled"):
+                yield self.src.enable_events(self.flt, EventAction.DROP)
+
+        with self.trace.phase("state-transfer", mark="state-transferred") as ph:
+            yield from self._transfer_state(
+                lock_per_chunk=self.early_release, parent=ph.span
+            )
+
+        # Reroute BEFORE releasing: when the machine's flush drains and
+        # it steps to REDIRECT, fall-through arrivals hit this rule.
+        with self.trace.phase("reroute", mark="rerouted"):
+            reroute_done = self.switch.install(
+                self.flt, self._route(self.dst_port), MID_PRIORITY
+            )
+            if order_preserving:
+                # Wait for the source's queue to drain: its idle response
+                # trails every straggler event on the FIFO NF channel, so
+                # after this yield the controller buffer holds ALL
+                # packets that are earlier in switch order than the
+                # rings. (Loss-free moves skip this — a late straggler
+                # still gets forwarded, just possibly out of order.)
+                yield self.src.drain_barrier()
+            yield reroute_done
+
+        with self.trace.phase("sw-release", mark="released") as rel_ph:
+            # Controller-buffered stragglers first (they precede the
+            # rings in switch order); the release is a plain send behind
+            # them on the same channel, so the switch emits them before
+            # it flushes.
+            self._flush_queues(mark=False)
+            self._buffering = False
+            flushed = yield self.switch.release_state_machine(
+                self.flt, self.dst_port
+            )
+            rel_ph.span.set(flushed=flushed)
+            self.report.packets_buffered_at_switch = flushed
 
     # ------------------------------------- strong OP (technical report, §5.1.2)
 
@@ -858,7 +968,7 @@ class MoveOperation(Operation):
             return
         release_filter = Filter(flowid.fields, symmetric=True)
         self._released_filters.append(release_filter)
-        mark = self.guarantee in (
+        mark = not self.offload and self.guarantee in (
             Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
         )
         kept: List[Packet] = []
@@ -876,6 +986,12 @@ class MoveOperation(Operation):
             ).inc(len(flushed))
             for packet in flushed:
                 self._record_packet("ctrl.release", packet, "early")
+        if self._xfsm_installed:
+            # Early release composes per flow: one release message flushes
+            # this flow's switch-local ring to the destination (behind any
+            # straggler packet-outs issued just above — the release is an
+            # ordering barrier on the same channel).
+            self.switch.release_state_machine(release_filter, self.dst_port)
 
     def _flush_queues(self, mark: bool, port: Optional[str] = None) -> None:
         target = self.dst_port if port is None else port
@@ -896,16 +1012,26 @@ class MoveOperation(Operation):
     def _cleanup(self):
         with self.trace.phase("cleanup", mark=None):
             yield self.drain_grace_ms
-            if self.guarantee in (
+            if not self.offload and self.guarantee in (
                 Guarantee.ORDER_PRESERVING, Guarantee.ORDER_PRESERVING_STRONG
             ):
                 # The phase-1 {src, ctrl} rule is shadowed by the HIGH rule;
                 # retire it so later operations start from a clean table.
+                # (Under offload the MID rule IS the live reroute — it
+                # stays; there is no HIGH rule above it.)
                 yield self.switch.remove(self.flt, MID_PRIORITY)
+            if self._xfsm_installed:
+                # Retire the (now fully drained) machine; matching
+                # packets fall through to the MID reroute rule.
+                yield self.switch.remove_state_machine(self.flt)
+                self._xfsm_installed = False
             # Remove the source's event rules (global and late-locked per-flow).
             yield self.src.disable_events_covered(self.flt)
             # Flush anything that trickled in during the grace period.
-            self._flush_queues(mark=self.guarantee is Guarantee.ORDER_PRESERVING)
+            self._flush_queues(
+                mark=not self.offload
+                and self.guarantee is Guarantee.ORDER_PRESERVING
+            )
             self.report.packets_dropped = (
                 self.src.nf.packets_dropped_silent - self._src_drops_at_start
             )

@@ -39,6 +39,8 @@ class OperationReport:
     packets_in_events: int = 0
     #: packets buffered at the destination instance (OP move only).
     packets_buffered_at_dst: int = 0
+    #: packets parked in switch-local XFSM rings (offloaded move only).
+    packets_buffered_at_switch: int = 0
     #: uids of packets affected by the operation (evented or buffered);
     #: the latency analysis computes their added delay.
     affected_uids: Set[int] = field(default_factory=set)
@@ -111,6 +113,7 @@ class OperationReport:
             "packets_dropped": self.packets_dropped,
             "packets_in_events": self.packets_in_events,
             "packets_buffered_at_dst": self.packets_buffered_at_dst,
+            "packets_buffered_at_switch": self.packets_buffered_at_switch,
             "affected_packets": len(self.affected_uids),
             "notes": list(self.notes),
             "aborted": self.aborted,

@@ -557,6 +557,16 @@ class ShardedControlPlane:
         return self.replicas[0].reliable
 
     @property
+    def offload(self) -> bool:
+        # Every replica shares the flag (controller_kwargs fan out), and
+        # the switch client is shared too — so the owning replica of a
+        # moved flow space installs the machine, and an ownership
+        # handoff implicitly hands the machine along with the flow
+        # space: the new owner issues releases over the same southbound
+        # connection.
+        return self.replicas[0].offload
+
+    @property
     def msg_proc_ms(self) -> float:
         return self.replicas[0].msg_proc_ms
 

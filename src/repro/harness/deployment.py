@@ -46,6 +46,7 @@ class Deployment:
         record_ground_truth: bool = True,
         shards: int = 1,
         handoff_latency_ms: float = 5.0,
+        offload: Optional[bool] = None,
     ) -> None:
         self.sim = sim or Simulator()
         #: One shared observability bundle; disabled unless ``observe=True``
@@ -75,6 +76,17 @@ class Deployment:
         elif batching is False:
             batching = None
         self.batching = batching
+        #: Data-plane offload (switch-local buffer/release XFSMs for the
+        #: move fast path). ``None`` defers to the ``OPENNF_OFFLOAD``
+        #: environment variable; ``False``/unset keeps the classic
+        #: controller-buffered timeline byte-for-byte identical.
+        if offload is None:
+            import os
+
+            offload = os.environ.get("OPENNF_OFFLOAD", "").lower() in (
+                "1", "true", "yes"
+            )
+        self.offload = bool(offload)
         #: Ground-truth logging (forward_log / processing_log / durations).
         #: Cheap bookkeeping, on by default; benchmarks turn it off so log
         #: appends do not pollute wall-clock measurements.
@@ -102,6 +114,7 @@ class Deployment:
             faults=self.faults,
             retry=retry,
             batching=self.batching,
+            offload=self.offload,
         )
         if shards > 1:
             from repro.controller.sharding import ShardedControlPlane

@@ -85,6 +85,7 @@ def run_move_experiment(
     fault_plan: Any = None,
     batching: Any = None,
     shards: int = 1,
+    offload: Optional[bool] = None,
 ) -> MoveExperimentResult:
     """Replay a trace to instance 1, move flows to instance 2 mid-trace.
 
@@ -112,6 +113,8 @@ def run_move_experiment(
         kwargs.setdefault("batching", batching)
     if shards > 1:
         kwargs.setdefault("shards", shards)
+    if offload is not None:
+        kwargs.setdefault("offload", offload)
     dep = Deployment(**kwargs)
     src = nf_factory(dep.sim, "inst1")
     dst = nf_factory(dep.sim, "inst2")

@@ -28,6 +28,7 @@ from repro.net.channel import ControlChannel
 from repro.net.flowtable import FlowEntry, FlowTable
 from repro.net.link import Link
 from repro.net.packet import Packet
+from repro.net.xfsm import BufferUntilRelease, XFSMInstance
 from repro.obs import NULL_OBS
 from repro.sim.core import Event, Simulator
 
@@ -83,13 +84,23 @@ class Switch:
         )
         self._ports: Dict[str, Port] = {}
         self._packet_in_handler: Optional[Callable[[Packet], None]] = None
-        self._packet_out_queue: Deque[Tuple[Packet, str]] = deque()
+        #: Entries are (packet, port, on_emit) — on_emit (optional) fires
+        #: after the packet leaves; barriers are (None, event, None).
+        self._packet_out_queue: Deque[Tuple] = deque()
         self._packet_out_busy = False
+        #: Installed XFSM machines (data-plane offload), checked before
+        #: table lookup; empty list = classic switch, byte-identical.
+        self._xfsm_machines: List[XFSMInstance] = []
+        #: At-most-once dedup for retried XFSM control RPCs:
+        #: request_id -> resend-response thunk (or None).
+        self._xfsm_rpc_seen: Dict[int, Optional[Callable[[], None]]] = {}
         # Data-path statistics.
         self.received = 0
         self.forwarded = 0
         self.table_misses = 0
         self.packet_outs = 0
+        #: Packet-ins silently lost because no handler was installed.
+        self.packet_ins_dropped = 0
         #: When False, ``forward_log`` stays empty — long-running scale
         #: benchmarks opt out so memory stays bounded; the properties the
         #: log backs are simply unavailable then.
@@ -119,6 +130,11 @@ class Switch:
     def inject(self, packet: Packet) -> None:
         """A packet arrives at the switch from the network."""
         self.received += 1
+        # Pre-match XFSM stage: an installed machine may consume the
+        # packet (buffer / queue / drop) before the flow table sees it.
+        for machine in self._xfsm_machines:
+            if machine.matches(packet) and machine.on_packet(packet):
+                return
         entry = self.table.lookup(packet)
         if entry is None:
             self.table_misses += 1
@@ -149,6 +165,13 @@ class Switch:
 
     def _send_packet_in(self, packet: Packet) -> None:
         if self._packet_in_handler is None:
+            # No controller attached: the packet is gone. Count it so
+            # the loss is visible instead of silent.
+            self.packet_ins_dropped += 1
+            if self.obs.enabled:
+                self.obs.metrics.counter("sw.packet_ins_dropped").inc(
+                    1, sw=self.name
+                )
             return
         self.control_channel.send(
             packet.size_bytes, self._packet_in_handler, packet
@@ -207,9 +230,19 @@ class Switch:
             )
         done.trigger()
 
-    def packet_out(self, packet: Packet, port_name: str) -> None:
-        """Emit ``packet`` from ``port_name``, subject to the sustained rate cap."""
-        self._packet_out_queue.append((packet, port_name))
+    def packet_out(
+        self,
+        packet: Packet,
+        port_name: str,
+        on_emit: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Emit ``packet`` from ``port_name``, subject to the sustained rate cap.
+
+        ``on_emit`` (optional) runs right after the packet leaves the
+        queue — the XFSM machines use it to learn when their flushed
+        packets have drained so the FLUSH_IN_ORDER state can end.
+        """
+        self._packet_out_queue.append((packet, port_name, on_emit))
         if not self._packet_out_busy:
             self._packet_out_busy = True
             self.sim.schedule(self.packet_out_interval_ms, self._drain_packet_out)
@@ -225,7 +258,7 @@ class Switch:
         if not self._packet_out_queue and not self._packet_out_busy:
             evt.trigger()
             return evt
-        self._packet_out_queue.append((None, evt))
+        self._packet_out_queue.append((None, evt, None))
         if not self._packet_out_busy:
             self._packet_out_busy = True
             self.sim.schedule(self.packet_out_interval_ms, self._drain_packet_out)
@@ -233,12 +266,12 @@ class Switch:
 
     def _drain_packet_out(self) -> None:
         while self._packet_out_queue and self._packet_out_queue[0][0] is None:
-            _marker, barrier_event = self._packet_out_queue.popleft()
+            _marker, barrier_event, _cb = self._packet_out_queue.popleft()
             barrier_event.trigger()
         if not self._packet_out_queue:
             self._packet_out_busy = False
             return
-        packet, port_name = self._packet_out_queue.popleft()
+        packet, port_name, on_emit = self._packet_out_queue.popleft()
         self.packet_outs += 1
         if self.obs.enabled:
             self.obs.metrics.counter("sw.packet_outs").inc(
@@ -247,6 +280,8 @@ class Switch:
         if self.record_ground_truth:
             self.forward_log.append((self.sim.now, packet.uid, (port_name,)))
         self._output(packet, port_name)
+        if on_emit is not None:
+            on_emit()
         self.sim.schedule(self.packet_out_interval_ms, self._drain_packet_out)
 
     def counters(self, flt: Filter, priority: Optional[int] = None) -> Tuple[int, int]:
@@ -255,3 +290,99 @@ class Switch:
         if entry is None:
             return (0, 0)
         return (entry.packets, entry.bytes)
+
+    # -- XFSM control path (data-plane offload) ---------------------------------
+
+    def install_state_machine(
+        self, flt: Filter, spec: BufferUntilRelease
+    ) -> Event:
+        """Install a state machine over ``flt``; fires when it is active.
+
+        Same consistent-update semantics as a flow-mod: the machine
+        activates atomically after the flow-mod delay; until then the
+        existing pipeline applies.
+        """
+        done = self.sim.event("xfsm-install@%s" % self.name)
+        self.sim.schedule(
+            self.flowmod_delay_ms, self._apply_xfsm_install, flt, spec, done
+        )
+        return done
+
+    def _apply_xfsm_install(
+        self, flt: Filter, spec: BufferUntilRelease, done: Event
+    ) -> None:
+        self._xfsm_machines.append(XFSMInstance(self, flt, spec))
+        if self.obs.enabled:
+            self.obs.metrics.counter("sw.xfsm_installs").inc(1, sw=self.name)
+        if not done.triggered:
+            done.trigger()
+
+    def remove_state_machine(self, flt: Filter) -> Event:
+        """Remove the machine(s) over ``flt``; fires when the removal applies.
+
+        A machine still flushing (packets of its rings waiting in the
+        rate-capped packet-out queue) retires itself only once the last
+        of them is out — removing it immediately would let new arrivals
+        fall through to the table and overtake the queued flush. The
+        event fires when the removal *command* applies; the deferred
+        retirement is invisible to the controller (the lingering machine
+        keeps in-order semantics, then disappears).
+        """
+        done = self.sim.event("xfsm-remove@%s" % self.name)
+        self.sim.schedule(
+            self.flowmod_delay_ms, self._apply_xfsm_remove, flt, done
+        )
+        return done
+
+    def _apply_xfsm_remove(self, flt: Filter, done: Event) -> None:
+        key = repr(flt)
+        for machine in list(self._xfsm_machines):
+            if repr(machine.filter) != key:
+                continue
+
+            def drop(m=machine) -> None:
+                if m in self._xfsm_machines:
+                    self._xfsm_machines.remove(m)
+
+            if machine.retire_when_quiescent(drop):
+                drop()
+        if not done.triggered:
+            done.trigger()
+
+    def release_state_machine(self, flt: Filter, port: str) -> int:
+        """Release buffered packets matching ``flt`` towards ``port``.
+
+        Applied immediately on arrival (it is not a table modification);
+        returns the number of packets flushed into the packet-out queue.
+        """
+        flushed = 0
+        for machine in self._xfsm_machines:
+            if flt.intersects(machine.filter):
+                flushed += machine.release(flt, port)
+        return flushed
+
+    def state_machines(self) -> List[XFSMInstance]:
+        """The currently installed machines (stats inspection)."""
+        return list(self._xfsm_machines)
+
+    def xfsm_rpc_deliver(self, request_id: int) -> bool:
+        """At-most-once guard for retried XFSM control RPCs.
+
+        Returns True exactly once per request id (apply the command);
+        duplicates re-run the resend thunk cached by
+        :meth:`xfsm_rpc_complete`, if any, so a response lost on the
+        return channel is replayed rather than recomputed.
+        """
+        if request_id in self._xfsm_rpc_seen:
+            replay = self._xfsm_rpc_seen[request_id]
+            if replay is not None:
+                replay()
+            return False
+        self._xfsm_rpc_seen[request_id] = None
+        return True
+
+    def xfsm_rpc_complete(
+        self, request_id: int, resend: Callable[[], None]
+    ) -> None:
+        """Cache the response-resend thunk for a finished XFSM RPC."""
+        self._xfsm_rpc_seen[request_id] = resend

@@ -82,6 +82,9 @@ class NetworkFunction:
         # Input path.
         self._queue: Deque[Packet] = deque()
         self._busy = False
+        #: One-shot callbacks fired the next time the input queue goes
+        #: idle (the offloaded move's drain barrier; empty otherwise).
+        self._idle_listeners: List[Callable[[], None]] = []
         # Event machinery. Rules live in an insertion-ordered seq -> rule
         # map (O(1) removal); exact-match rules are additionally hash-
         # indexed by their filter's canonical key, mirroring the flow
@@ -206,14 +209,36 @@ class NetworkFunction:
             self._busy = True
             self.sim.schedule(0.0, self._drain)
 
+    def on_idle(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once the input queue is fully drained.
+
+        Fires immediately when nothing is queued or in service. Every
+        event a queued packet raises is emitted *before* the idle
+        notification, so a response sent from the callback trails those
+        events on the (FIFO) NF→controller channel — the ordering the
+        offloaded move's drain barrier relies on.
+        """
+        if not self._busy and not self._queue:
+            callback()
+        else:
+            self._idle_listeners.append(callback)
+
+    def _notify_idle(self) -> None:
+        if self._idle_listeners:
+            listeners, self._idle_listeners = self._idle_listeners, []
+            for callback in listeners:
+                callback()
+
     def _drain(self) -> None:
         if self.failed:
             self.packets_lost_to_failure += len(self._queue)
             self._queue.clear()
             self._busy = False
+            self._notify_idle()
             return
         if not self._queue:
             self._busy = False
+            self._notify_idle()
             return
         packet = self._queue.popleft()
         rule = self._match_rule(packet)
@@ -274,6 +299,7 @@ class NetworkFunction:
             self.failure_reason = str(crash)
             self._queue.clear()
             self._busy = False
+            self._notify_idle()
             for callback in self._failure_listeners:
                 callback(self)
             return

@@ -617,6 +617,30 @@ class NFClient:
                      protocol.message_size(request), at_nf, rid, span)
         return self._finish_rpc("enableEvents", done, span)
 
+    def drain_barrier(self) -> Event:
+        """Fires once the NF's input queue has fully drained.
+
+        The response is sent from the NF's idle notification, *after*
+        any events queued packets raised — and it travels the same FIFO
+        NF→controller channel, so when this fires every straggler event
+        is already at the controller. The offloaded move issues this
+        before releasing the switch-local rings, which is what keeps
+        controller-buffered stragglers ahead of ring packets in the
+        destination's processing order.
+        """
+        done = self.sim.event("drainBarrier@%s" % self.nf.name)
+        rid = self._next_request_id()
+        span = self._rpc_span("drainBarrier")
+
+        def at_nf() -> None:
+            self.nf.on_idle(
+                lambda: self._send_response(rid, done, REQUEST_BYTES, None)
+            )
+
+        size = REQUEST_BYTES + (REQUEST_ID_BYTES if rid is not None else 0)
+        self._invoke("drainBarrier", done, size, at_nf, rid, span)
+        return self._finish_rpc("drainBarrier", done, span)
+
     def disable_events(self, flt: Filter) -> Event:
         """``disableEvents(filter)``; triggers when the rule is removed."""
         done = self.sim.event("disableEvents@%s" % self.nf.name)

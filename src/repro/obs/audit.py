@@ -213,9 +213,11 @@ class LossFreeAuditor(_Auditor):
 
     * ``nf.drop`` span with ``silent=True`` → immediate violation (the
       Split/Merge defect: the packet is gone and nothing recorded it);
-    * ``nf.drop`` span with ``silent=False``, ``nf.buffer`` record, or
-      ``ctrl.buffer`` record → *pending* (the packet is parked
-      somewhere and owed a processing);
+    * ``nf.drop`` span with ``silent=False``, ``nf.buffer`` record,
+      ``ctrl.buffer`` record, or ``sw.buffer`` record (offloaded move:
+      parked in a switch-local XFSM ring) → *pending* (the packet is
+      parked somewhere and owed a processing);
+    * ``sw.drop`` record (XFSM ring overflow) → immediate violation;
     * ``nf.process`` record for a pending uid → *done*;
     * ``nf.process`` for a done uid → duplicate violation;
     * still pending at :meth:`finalize` → loss violation.
@@ -271,6 +273,27 @@ class LossFreeAuditor(_Auditor):
         elif name == "ctrl.buffer":
             op = self.registry.get(record.get("trace_id"))
             self._capture(record.get("uid"), op, record.get("flow"))
+        elif name == "sw.buffer":
+            # Data-plane offload: the packet parked in a switch-local
+            # XFSM ring instead of travelling to the controller. Same
+            # obligation — it is owed exactly one processing at the
+            # operation's destination.
+            op = self.registry.get(record.get("trace_id"))
+            self._capture(record.get("uid"), op, record.get("flow"))
+        elif name == "sw.drop":
+            # An XFSM ring overflowed: the packet is gone and nothing
+            # will ever repay it. Immediate loss violation.
+            op = self.registry.get(record.get("trace_id"))
+            self.emit(Violation(
+                "loss-free",
+                record.get("time_ms", 0.0),
+                op.trace_id if op else record.get("trace_id"),
+                op.kind if op else None,
+                nf=record.get("sw"),
+                flow=record.get("flow"),
+                detail="packet uid=%s dropped by switch state machine "
+                       "(ring overflow)" % record.get("uid"),
+            ))
         elif name == "nf.process":
             uid = record.get("uid")
             nf = record.get("nf")

@@ -1,0 +1,124 @@
+"""Data-plane offload: switch-local buffer/drop/release state machines.
+
+The offloaded move fast path must tell the same loss-free /
+order-preserving story as the controller-buffered classic path — to the
+live auditors, to a ``replay_trace`` of the written ``.trace.jsonl``,
+and through a crash-mid-offload abort. And with offload off, the
+machinery must be completely inert: the classic timeline is
+byte-identical to the seed's.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Guarantee
+from repro.conformance.properties import write_trace_file
+from repro.harness import run_move_experiment
+from repro.net.packet import reset_uid_counter
+from repro.obs.audit import replay_trace
+
+
+def run_offloaded(guarantee=Guarantee.LOSS_FREE, **kwargs):
+    kwargs.setdefault("n_flows", 40)
+    kwargs.setdefault("rate_pps", 4000.0)
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("audit", True)
+    return run_move_experiment(guarantee, offload=True, **kwargs)
+
+
+class TestOffloadedMoveGuarantees:
+    def test_loss_free_offload_audits_clean(self):
+        result = run_offloaded(Guarantee.LOSS_FREE)
+        assert result.report.aborted is None
+        assert result.loss_free, result.loss_free_detail
+        assert result.deployment.obs.violations() == []
+        # The window's packets parked at the switch, not the controller.
+        assert result.report.packets_buffered_at_switch > 0
+        assert result.report.packets_in_events == 0
+
+    def test_order_preserving_offload_audits_clean(self):
+        result = run_offloaded(Guarantee.ORDER_PRESERVING)
+        assert result.report.aborted is None
+        assert result.loss_free, result.loss_free_detail
+        assert result.order_preserving, result.order_detail
+        assert result.deployment.obs.violations() == []
+        assert result.report.packets_buffered_at_switch > 0
+
+    def test_early_release_composes_per_flow(self):
+        result = run_offloaded(Guarantee.LOSS_FREE, early_release=True)
+        assert result.report.aborted is None
+        assert result.loss_free, result.loss_free_detail
+        assert result.deployment.obs.violations() == []
+
+    def test_machine_retired_after_move(self):
+        result = run_offloaded(Guarantee.LOSS_FREE)
+        assert result.deployment.switch.state_machines() == []
+
+
+class TestOffloadedTraceReplay:
+    def test_replay_sees_switch_records_and_stays_clean(self, tmp_path):
+        path = str(tmp_path / "offload.trace.jsonl")
+        result = run_offloaded(Guarantee.ORDER_PRESERVING)
+        assert result.deployment.obs.violations() == []
+        assert write_trace_file(result.deployment.obs, path) > 0
+
+        names = set()
+        with open(path) as handle:
+            for line in handle:
+                entry = json.loads(line)
+                if entry.get("type") == "record":
+                    names.add(entry.get("name"))
+        # The switch-side story is in the trace for offline auditing.
+        assert "sw.buffer" in names
+        assert "sw.release" in names
+        assert "sw.drop" not in names
+
+        pipeline = replay_trace(path)
+        assert pipeline.violations == []
+        assert pipeline.skipped_entries == []
+
+
+class TestCrashMidOffload:
+    def test_dst_crash_flushes_rings_back_to_source(self):
+        # Crash the destination mid-transfer: the abort handler must
+        # restore the source, release the switch rings toward the
+        # surviving port, and leave a loss-free timeline behind.
+        result = run_offloaded(
+            Guarantee.LOSS_FREE, fault_plan="seed=5,crash=inst2#20"
+        )
+        assert result.report.aborted is not None
+        assert result.loss_free, result.loss_free_detail
+        assert result.deployment.obs.violations() == []
+        # Nothing left parked at the switch.
+        assert result.deployment.switch.state_machines() == []
+
+
+class TestOffloadOffIsInert:
+    def test_classic_timeline_is_byte_identical(self, monkeypatch):
+        monkeypatch.delenv("OPENNF_OFFLOAD", raising=False)
+
+        def run(offload):
+            reset_uid_counter()
+            return run_move_experiment(
+                Guarantee.LOSS_FREE, n_flows=30, rate_pps=3000.0, seed=11,
+                offload=offload,
+            )
+
+        implicit = run(None)     # seed default: env unset, offload off
+        explicit = run(False)
+        assert implicit.report.to_dict() == explicit.report.to_dict()
+        assert (implicit.deployment.switch.forward_log
+                == explicit.deployment.switch.forward_log)
+
+    def test_classic_run_emits_no_switch_machine_records(self):
+        result = run_move_experiment(
+            Guarantee.LOSS_FREE, n_flows=30, seed=7, audit=True,
+            offload=False,
+        )
+        names = {record.get("name")
+                 for record in result.deployment.obs.exporter.records}
+        assert not {"sw.buffer", "sw.release", "sw.drop"} & names
+        assert result.deployment.switch.state_machines() == []
