@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale bench-sharded bench-chain bench-offload examples validate clean results
+.PHONY: install test test-obs test-faults test-conformance conform bench bench-smoke bench-scale bench-sharded bench-chain bench-offload bench-obs-overhead examples validate clean results
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,9 @@ bench-chain:
 
 bench-offload:
 	$(PYTHON) benchmarks/bench_offload.py
+
+bench-obs-overhead:
+	$(PYTHON) benchmarks/bench_obs_overhead.py
 
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs

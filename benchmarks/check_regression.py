@@ -12,6 +12,9 @@ leaf values by their JSON path:
 * control-message-count keys (containing ``messages``) must not
   increase at all — the batching/consolidation wins are structural, so
   any growth is a real regression, not noise;
+* telemetry-overhead keys (ending ``overhead_pct``) must stay at or
+  under 5.0 absolute — the "leave it on" budget is a hard ceiling, not
+  relative to baseline;
 * throughput keys (ending ``_per_s`` or ``_speedup_x``) must not fall
   more than ``--tolerance`` below baseline — the sharded control
   plane's scaling win is a gated result, not informational;
@@ -31,6 +34,8 @@ from typing import Any, Iterator, List, Tuple
 TIME_SUFFIXES = ("_ms", "_us_per_op")
 THROUGHPUT_SUFFIXES = ("_per_s", "_speedup_x")
 MESSAGE_MARKER = "messages"
+OVERHEAD_SUFFIX = "overhead_pct"
+MAX_OVERHEAD_PCT = 5.0
 
 
 def leaves(value: Any, path: str = "") -> Iterator[Tuple[str, Any]]:
@@ -69,7 +74,15 @@ def compare_file(
                 "%s: %s missing from fresh results" % (name, path)
             )
             continue
-        if key.endswith(TIME_SUFFIXES):
+        if key.endswith(OVERHEAD_SUFFIX):
+            # Absolute ceiling, independent of the baseline value: the
+            # telemetry budget never loosens even if a past run was low.
+            if current > MAX_OVERHEAD_PCT:
+                failures.append(
+                    "%s: %s telemetry overhead %.2f%% exceeds the %.1f%% "
+                    "budget" % (name, path, current, MAX_OVERHEAD_PCT)
+                )
+        elif key.endswith(TIME_SUFFIXES):
             limit = base_value * (1.0 + tolerance)
             if current > limit:
                 failures.append(

@@ -19,6 +19,7 @@ Usage::
     python -m repro.cli chain --guarantee lf --shards 2
     python -m repro.cli chain --hop-guarantee nat=ng
     python -m repro.cli offload --guarantee lf --flows 500
+    python -m repro.cli top --flows 500 --shards 2 --interval 500
     python -m repro.cli version
 
 ``demo-move`` runs one instrumented move between two PRADS-like
@@ -254,6 +255,32 @@ def _build_parser() -> argparse.ArgumentParser:
     offload.add_argument("--batching", action="store_true",
                          help="batch control-plane messages in both runs "
                               "(the bench baseline)")
+
+    top = sub.add_parser(
+        "top",
+        help="run one fully-telemetered move and print periodic "
+             "'top'-style snapshots: events/s and inbox depth per shard, "
+             "ops in flight, per-NF processing rates, XFSM occupancy",
+    )
+    top.add_argument("--guarantee", default="loss-free", type=_guarantee,
+                     metavar="LEVEL",
+                     help="move safety level (any Guarantee alias)")
+    top.add_argument("--flows", type=int, default=200)
+    top.add_argument("--rate", type=float, default=2500.0,
+                     help="replay rate in packets/second")
+    top.add_argument("--seed", type=int, default=7)
+    top.add_argument("--shards", type=int, default=1,
+                     help="controller replicas (>1 shards the plane)")
+    top.add_argument("--offload", action="store_true",
+                     help="enable data-plane offload for the move")
+    top.add_argument("--interval", type=float, default=1000.0,
+                     help="snapshot interval in simulated ms")
+    top.add_argument("--jsonl", metavar="PATH", default=None,
+                     help="append the final time-series windows as "
+                          "JSON lines to PATH")
+    top.add_argument("--prometheus", action="store_true",
+                     help="also print the time-series Prometheus "
+                          "rendering at the end")
 
     sub.add_parser("version", help="print the package version")
     return parser
@@ -759,6 +786,46 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 1 if result.report.aborted else 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import ProgressReporter, format_top, snapshot_top
+
+    def on_deployment(dep):
+        reporter = ProgressReporter(
+            dep,
+            interval_ms=args.interval,
+            sink=lambda snap: print(format_top(snap)),
+        )
+        reporter.start()
+
+    result = run_move_experiment(
+        guarantee=args.guarantee,
+        n_flows=args.flows,
+        rate_pps=args.rate,
+        seed=args.seed,
+        shards=args.shards,
+        offload=True if args.offload else None,
+        telemetry=True,
+        on_deployment=on_deployment,
+    )
+    dep = result.deployment
+    print(format_top(snapshot_top(dep)))
+    print(result.report.summary())
+    sampler = dep.obs.sampling
+    if sampler is not None:
+        stats = dep.obs.flush_sampling()
+        print("sampling: %d/%d ops kept (%d head, %d tail, %d open), "
+              "%d records gated at source"
+              % (stats["ops_kept"], stats["ops_seen"], stats["ops_kept_head"],
+                 stats["ops_kept_tail"], stats["ops_kept_open"],
+                 stats["records_sampled_out"]))
+    if args.jsonl:
+        lines = dep.obs.timeseries.write_jsonl(args.jsonl)
+        print("wrote %d time-series windows to %s" % (lines, args.jsonl))
+    if args.prometheus:
+        sys.stdout.write(dep.obs.timeseries.render_prometheus())
+    return 1 if result.report.aborted else 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.controller.move import Guarantee
 
@@ -812,6 +879,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chain(args)
     if args.command == "offload":
         return _cmd_offload(args)
+    if args.command == "top":
+        return _cmd_top(args)
     return 2
 
 

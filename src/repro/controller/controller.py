@@ -150,12 +150,63 @@ class OpenNFController:
         #: until the earlier finishes. (handle -> (filter, done event))
         self._admission: Dict[int, Tuple[Filter, Any]] = {}
         self._operation_handle_counter = 0
+        # Pre-bound inbound-path telemetry (lazily rebuilt: a sharded
+        # plane assigns shard labels after construction, and bundles
+        # can be swapped). kind -> bound ctrl.inbox counter handle.
+        self._obs_cache_for = None
+        self._m_inbox: Dict[str, Any] = {}
+        self._ts_events = None
+        self._ts_ops = None
         #: Total operations (any kind) deferred by admission control.
         self.operations_queued_for_conflict = 0
         #: Moves specifically (kept for the pre-unification callers).
         self.moves_queued_for_conflict = 0
 
     # -------------------------------------------------------------------- wiring
+
+    def _inbox_metric(self, kind: str):
+        """Bound ``ctrl.inbox`` counter handle for one message kind.
+
+        First use per bundle also wires the shard-labelled time-series:
+        the inbox-depth gauge onto the pump's depth probe, the events/s
+        rate series, and the ops-in-flight gauge series.
+        """
+        if self._obs_cache_for is not self.obs:
+            self._m_inbox = {}
+            self._obs_cache_for = self.obs
+            hub = getattr(self.obs, "timeseries", None)
+            self._ts_events = None
+            self._ts_ops = None
+            self.inbox.on_depth = None
+            if hub is not None:
+                shard = self._shard_label
+                self._ts_events = hub.series("ctrl.events", **shard)
+                self._ts_ops = hub.series(
+                    "ctrl.ops_in_flight", kind="gauge", **shard
+                )
+                depth_series = hub.series(
+                    "ctrl.inbox.depth", kind="gauge", **shard
+                )
+                sim = self.sim
+
+                def probe(depth, _series=depth_series, _sim=sim):
+                    _series.record(_sim.now, float(depth))
+
+                self.inbox.on_depth = probe
+        handle = self._m_inbox.get(kind)
+        if handle is None:
+            handle = self._m_inbox[kind] = self.obs.metrics.counter(
+                "ctrl.inbox"
+            ).bind(kind=kind, **self._shard_label)
+        return handle
+
+    def _record_ops_in_flight(self) -> None:
+        """Fold the admission-table size into the ops-in-flight gauge."""
+        if self.obs.enabled:
+            self._inbox_metric("event")  # ensure series are wired
+            ts = self._ts_ops
+            if ts is not None:
+                ts.record(self.sim.now, float(len(self._admission)))
 
     def _attach_faults(self, channel: ControlChannel) -> None:
         """Install the fault plan's injector for this channel, if any."""
@@ -350,9 +401,10 @@ class OpenNFController:
             else self.plane.shard_for_event(event)
         target.events_received += 1
         if target.obs.enabled:
-            target.obs.metrics.counter("ctrl.inbox").inc(
-                1, kind="event", **target._shard_label
-            )
+            target._inbox_metric("event").inc(1)
+            ts = target._ts_events
+            if ts is not None:
+                ts.record(target.sim.now, 1.0)
         target.inbox.push(("event", event, None))
 
     def _handle_sequenced_event(self, event: PacketEvent) -> None:
@@ -428,17 +480,13 @@ class OpenNFController:
         """Entry point for packet-ins from the switch."""
         self.packet_ins_received += 1
         if self.obs.enabled:
-            self.obs.metrics.counter("ctrl.inbox").inc(
-                1, kind="packet-in", **self._shard_label
-            )
+            self._inbox_metric("packet-in").inc(1)
         self.inbox.push(("packet-in", packet, None))
 
     def enqueue_chunk(self, handler: Callable[[Any], None], chunk: Any) -> None:
         """Route a streamed state chunk through the serialized inbox."""
         if self.obs.enabled:
-            self.obs.metrics.counter("ctrl.inbox").inc(
-                1, kind="chunk", **self._shard_label
-            )
+            self._inbox_metric("chunk").inc(1)
         self.inbox.push(("chunk", chunk, handler))
 
     def enqueue_chunks(
@@ -454,9 +502,7 @@ class OpenNFController:
         if not chunks:
             return
         if self.obs.enabled:
-            self.obs.metrics.counter("ctrl.inbox").inc(
-                1, kind="chunk-frame", **self._shard_label
-            )
+            self._inbox_metric("chunk-frame").inc(1)
         self.inbox.push(("chunk", chunks, handler), weight=len(chunks))
 
     def inbox_drained(self):
@@ -510,7 +556,13 @@ class OpenNFController:
         self._operation_handle_counter += 1
         handle = self._operation_handle_counter
         self._admission[handle] = (flt, done)
-        done.add_callback(lambda _evt: self._admission.pop(handle, None))
+        self._record_ops_in_flight()
+
+        def _release(_evt, _handle=handle):
+            self._admission.pop(_handle, None)
+            self._record_ops_in_flight()
+
+        done.add_callback(_release)
         return handle
 
     def _track_operation(self, flt: Filter, operation):

@@ -28,6 +28,16 @@ class FiveTuple:
     dst_port: int
     proto: int = TCP
 
+    def __post_init__(self) -> None:
+        # Memo slots (never part of identity — filled in lazily by
+        # canonical()/flow-key/sampling-gate caching). Pre-inserting
+        # them here keeps every instance dict on CPython's shared-key
+        # layout: late insertion of a *new* key un-shares the dict and
+        # slows attribute reads on every FiveTuple in the process.
+        object.__setattr__(self, "_canonical", None)
+        object.__setattr__(self, "_flow_key", None)
+        object.__setattr__(self, "_gate_keep", None)
+
     def reversed(self) -> "FiveTuple":
         """The same flow seen from the opposite direction."""
         return FiveTuple(
@@ -35,14 +45,23 @@ class FiveTuple:
         )
 
     def canonical(self) -> "FiveTuple":
-        """Direction-normalized form shared by both directions of the flow."""
+        """Direction-normalized form shared by both directions of the flow.
+
+        Cached on the instance (via ``object.__setattr__`` — the
+        dataclass is frozen): NFs canonicalize per packet and packets of
+        one flow direction share their tuple, so the normalization runs
+        once per flow direction instead of once per packet.
+        """
+        cached = self._canonical
+        if cached is not None:
+            return cached
         from repro.flowspace.ip import ip_to_int
 
         left = (ip_to_int(self.src_ip), self.src_port)
         right = (ip_to_int(self.dst_ip), self.dst_port)
-        if left <= right:
-            return self
-        return self.reversed()
+        result = self if left <= right else self.reversed()
+        object.__setattr__(self, "_canonical", result)
+        return result
 
     def headers(self) -> Dict[str, Union[str, int]]:
         """Header-field dict in the OpenFlow-ish naming the filters use."""

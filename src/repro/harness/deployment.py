@@ -47,15 +47,41 @@ class Deployment:
         shards: int = 1,
         handoff_latency_ms: float = 5.0,
         offload: Optional[bool] = None,
+        telemetry: Optional[bool] = None,
+        timeseries=None,
+        sampling=None,
     ) -> None:
         self.sim = sim or Simulator()
+        #: Scale-ready telemetry (windowed time-series + trace sampling).
+        #: ``telemetry=True`` turns both on with defaults; ``None`` defers
+        #: to the ``OPENNF_TELEMETRY`` environment variable. The finer
+        #: ``timeseries=``/``sampling=`` knobs pass straight through to
+        #: :class:`~repro.obs.Observability` (a hub, a policy, or a
+        #: sampler instance) and individually override ``telemetry``.
+        if telemetry is None:
+            import os
+
+            telemetry = os.environ.get("OPENNF_TELEMETRY", "").lower() in (
+                "1", "true", "yes"
+            )
+        if telemetry:
+            if timeseries is None:
+                timeseries = True
+            if sampling is None:
+                sampling = True
+        self.telemetry = bool(timeseries or sampling)
         #: One shared observability bundle; disabled unless ``observe=True``
         #: (or a pre-built ``obs`` is passed in), in which case spans land
         #: in ``self.obs.exporter``. ``audit=True`` additionally streams
         #: the trace through the online guarantee auditors and arms the
-        #: flight recorder (implies ``observe``).
+        #: flight recorder (implies ``observe``). ``timeseries``/
+        #: ``sampling`` likewise imply ``observe``.
         self.obs = obs or Observability(
-            sim=self.sim, enabled=observe, audit=audit
+            sim=self.sim,
+            enabled=observe,
+            audit=audit,
+            timeseries=timeseries,
+            sampling=sampling,
         )
         #: Optional :class:`repro.faults.FaultPlan` (or a spec string for
         #: :meth:`FaultPlan.from_spec`). Installing one switches the

@@ -86,6 +86,8 @@ def run_move_experiment(
     batching: Any = None,
     shards: int = 1,
     offload: Optional[bool] = None,
+    telemetry: Optional[bool] = None,
+    on_deployment: Optional[Callable[[Deployment], None]] = None,
 ) -> MoveExperimentResult:
     """Replay a trace to instance 1, move flows to instance 2 mid-trace.
 
@@ -115,12 +117,18 @@ def run_move_experiment(
         kwargs.setdefault("shards", shards)
     if offload is not None:
         kwargs.setdefault("offload", offload)
+    if telemetry is not None:
+        kwargs.setdefault("telemetry", telemetry)
     dep = Deployment(**kwargs)
     src = nf_factory(dep.sim, "inst1")
     dst = nf_factory(dep.sim, "inst2")
     dep.add_nf(src)
     dep.add_nf(dst)
     dep.set_default_route("inst1")
+    if on_deployment is not None:
+        # Pre-run seam: attach reporters/probes before traffic starts
+        # (the `repro top` dashboard arms its ProgressReporter here).
+        on_deployment(dep)
 
     config = trace_config or TraceConfig(
         seed=seed, n_flows=n_flows, data_packets=data_packets

@@ -121,6 +121,25 @@ class ControlChannel:
         self.frames_deduplicated = 0
         #: Logical messages that traveled inside frames.
         self.messages_coalesced = 0
+        # Pre-bound per-channel telemetry handles (lazily rebuilt when
+        # the bundle is swapped): sends are the single hottest metrics
+        # site in a full transfer, so label resolution happens once.
+        self._obs_cache_for = None
+        self._m_messages = None
+        self._m_bytes = None
+        self._h_transfer = None
+
+    def _bind_telemetry(self) -> None:
+        """(Re)build the pre-bound send-path handles for ``self.obs``."""
+        metrics = self.obs.metrics
+        self._m_messages = metrics.counter("chan.messages").bind(
+            channel=self.name
+        )
+        self._m_bytes = metrics.counter("chan.bytes").bind(channel=self.name)
+        self._h_transfer = metrics.histogram("chan.transfer_ms").bind(
+            channel=self.name
+        )
+        self._obs_cache_for = self.obs
 
     def transfer_time(self, size_bytes: int) -> float:
         """Latency + transmission time for a message of ``size_bytes``
@@ -151,12 +170,11 @@ class ControlChannel:
         arrival = self._busy_until + self.latency_ms
         delay = arrival - self.sim.now
         if self.obs.enabled:
-            metrics = self.obs.metrics
-            metrics.counter("chan.messages").inc(1, channel=self.name)
-            metrics.counter("chan.bytes").inc(size_bytes, channel=self.name)
-            metrics.histogram("chan.transfer_ms").observe(
-                delay, channel=self.name
-            )
+            if self._obs_cache_for is not self.obs:
+                self._bind_telemetry()
+            self._m_messages.inc(1)
+            self._m_bytes.inc(size_bytes)
+            self._h_transfer.observe(delay)
         if self.faults is not None:
             # The sender still occupies the transmitter (loss happens in
             # the network, not at the NIC), so busy_until stays advanced.

@@ -29,6 +29,8 @@ def reset_uid_counter() -> None:
     _uid_counter = itertools.count(1)
 
 
+
+
 class Packet:
     """A single packet traversing the simulated network."""
 
@@ -72,11 +74,22 @@ class Packet:
         Both directions of a connection map to the same key, matching
         the symmetric per-flow grouping the §5.1 properties are stated
         over; auditors and trace records use it to name flows.
+
+        Memoized *on the five-tuple object* (both directions of a flow
+        reuse their tuples across every packet): a hit is one string-key
+        dict probe, with no five-tuple hashing, and the cache dies with
+        the tuple instead of growing a process-global map. The tuple
+        dataclass is frozen, hence the ``object.__setattr__``.
         """
-        c = self.five_tuple.canonical()
-        return "%s:%s-%s:%s/%s" % (
-            c.src_ip, c.src_port, c.dst_ip, c.dst_port, c.proto
-        )
+        five_tuple = self.five_tuple
+        key = five_tuple._flow_key
+        if key is None:
+            c = five_tuple.canonical()
+            key = "%s:%s-%s:%s/%s" % (
+                c.src_ip, c.src_port, c.dst_ip, c.dst_port, c.proto
+            )
+            object.__setattr__(five_tuple, "_flow_key", key)
+        return key
 
     def headers(self) -> Dict[str, Any]:
         """Header-field dict for filter matching."""

@@ -108,6 +108,21 @@ class Switch:
         #: Ordered log of (time, packet_uid, actions) — the ground truth the
         #: order-preservation property is checked against.
         self.forward_log: List[Tuple[float, int, Tuple[str, ...]]] = []
+        # Per-port forwarded counts, kept as a plain dict on the data
+        # path and published into the ``sw.forwarded`` counter by a pull
+        # collector — the per-packet telemetry cost is one dict update,
+        # no method calls (lazily rebound when the bundle is swapped).
+        self._obs_cache_for = None
+        self._fwd_counts: Dict[str, int] = {}
+
+    def _bind_telemetry(self) -> None:
+        """(Re)register the pull collector with ``self.obs``'s registry."""
+        def _collect(reg, _sw=self):
+            counter = reg.counter("sw.forwarded")
+            for action, count in _sw._fwd_counts.items():
+                counter.load(count, sw=_sw.name, port=action)
+        self.obs.metrics.add_collector(("sw.forwarded", self.name), _collect)
+        self._obs_cache_for = self.obs
 
     # -- wiring ----------------------------------------------------------------
 
@@ -145,11 +160,11 @@ class Switch:
         if self.record_ground_truth:
             self.forward_log.append((self.sim.now, packet.uid, entry.actions))
         if self.obs.enabled:
-            metrics = self.obs.metrics
+            if self._obs_cache_for is not self.obs:
+                self._bind_telemetry()
+            counts = self._fwd_counts
             for action in entry.actions:
-                metrics.counter("sw.forwarded").inc(
-                    1, sw=self.name, port=action
-                )
+                counts[action] = counts.get(action, 0) + 1
         for action in entry.actions:
             self._output(packet, action)
 

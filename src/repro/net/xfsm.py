@@ -106,6 +106,13 @@ class XFSMInstance:
         self.packets_buffered = 0
         self.packets_flushed = 0
         self.packets_dropped = 0
+        #: Packets currently parked across all rings — kept incremental
+        #: so the per-packet capacity check and the live dashboard stay
+        #: O(1) regardless of ring count.
+        self._buffered_count = 0
+        # Pre-bound occupancy gauge series (lazily rebuilt per bundle).
+        self._obs_cache_for = None
+        self._ts_occ = None
 
     # ------------------------------------------------------------- data path
 
@@ -152,9 +159,11 @@ class XFSMInstance:
         self._seq += 1
         self._rings.setdefault(key, []).append((self._seq, packet))
         self.packets_buffered += 1
+        self._buffered_count += 1
         obs = self.switch.obs
         if obs.enabled:
             obs.metrics.counter("sw.xfsm.buffered").inc(1, sw=self.switch.name)
+            self._record_occupancy(obs)
             obs.tracer.record(
                 "sw.buffer",
                 trace_id=self.spec.trace_id,
@@ -166,7 +175,20 @@ class XFSMInstance:
         return True
 
     def _buffered_now(self) -> int:
-        return sum(len(ring) for ring in self._rings.values())
+        return self._buffered_count
+
+    def _record_occupancy(self, obs) -> None:
+        if self._obs_cache_for is not obs:
+            self._obs_cache_for = obs
+            hub = getattr(obs, "timeseries", None)
+            self._ts_occ = None
+            if hub is not None:
+                self._ts_occ = hub.series(
+                    "sw.xfsm.occupancy", kind="gauge", sw=self.switch.name
+                )
+        ts = self._ts_occ
+        if ts is not None:
+            ts.record(self.sim.now, float(self._buffered_count))
 
     # -------------------------------------------------------------- release
 
@@ -190,10 +212,14 @@ class XFSMInstance:
         for ring in self._rings.values():
             merged.extend(ring)
         self._rings.clear()
+        self._buffered_count = 0
         merged.sort(key=lambda item: item[0])
         for _seq, packet in merged:
             self._record_release(packet, "flush")
             self._emit(packet, port)
+        obs = self.switch.obs
+        if obs.enabled:
+            self._record_occupancy(obs)
         self.state = FLUSH_IN_ORDER if self._in_queue else REDIRECT
         return len(merged)
 
@@ -203,9 +229,14 @@ class XFSMInstance:
             return 0
         self._released[key] = port
         ring = self._rings.pop(key, [])
+        self._buffered_count -= len(ring)
         for _seq, packet in ring:
             self._record_release(packet, "early")
             self._emit(packet, port)
+        if ring:
+            obs = self.switch.obs
+            if obs.enabled:
+                self._record_occupancy(obs)
         return len(ring)
 
     def _emit(self, packet: Packet, port: str) -> None:

@@ -73,6 +73,14 @@ class NetworkFunction:
         #: Observability bundle; the deployment swaps in its own when
         #: the NF is attached (disabled singleton until then).
         self.obs = NULL_OBS
+        # Per-packet telemetry handles, lazily (re)bound to whichever
+        # bundle is installed: label resolution happens once, not per
+        # packet (the pre-bound handles are what keeps full telemetry
+        # inside the soak overhead budget).
+        self._obs_cache_for = None
+        self._m_buffered = None
+        self._m_dropped_silent = None
+        self._m_dropped_evented = None
         self.failed = False
         self.failure_reason: Optional[str] = None
         #: Callbacks invoked (once) when this instance fail-stops; the
@@ -135,6 +143,53 @@ class NetworkFunction:
         """Attach the control channel used for raising events."""
         self.event_channel = channel
         self.event_sink = event_sink
+
+    def _bind_telemetry(self, obs) -> None:
+        """(Re)build the pre-bound per-NF metric handles for ``obs``."""
+        metrics = obs.metrics
+        name = self.name
+        # ``nf.packets.processed`` fires once per packet: published as a
+        # pull collector over the always-maintained plain attribute, so
+        # the per-packet cost of the counter is zero.
+        metrics.add_collector(
+            ("nf.packets.processed", name),
+            lambda reg, _nf=self: reg.counter("nf.packets.processed").load(
+                _nf.packets_processed, nf=_nf.name
+            ),
+        )
+        self._m_buffered = metrics.counter("nf.packets.buffered").bind(
+            nf=name
+        )
+        dropped = metrics.counter("nf.packets.dropped")
+        self._m_dropped_silent = dropped.bind(nf=name, mode="silent")
+        self._m_dropped_evented = dropped.bind(nf=name, mode="evented")
+        self._obs_cache_for = obs
+
+    def _gated_flow(self, obs, packet: Packet) -> Optional[str]:
+        """The packet's flow key if its trace records should be built.
+
+        ``None`` means the sampler's per-flow gate dropped the flow (and
+        no tap needs the record). The verdict and the flow-key string
+        are memoized together *on the five-tuple object* (shared by all
+        packets of one flow direction), tagged with the gate that
+        produced it so a different deployment's sampler never sees a
+        stale verdict — the steady-state cost is one dict probe with no
+        five-tuple hashing.
+        """
+        gate = obs.packet_gate
+        if gate is None:
+            return packet.flow_key()
+        verdict = packet.five_tuple._gate_keep
+        if verdict is None or verdict[0] is not gate:
+            verdict = self._gate_miss(gate, packet)
+        return verdict[1]
+
+    def _gate_miss(self, gate, packet: Packet) -> Tuple[Any, Optional[str]]:
+        """Resolve and memoize the gate verdict for an unseen flow."""
+        flow = packet.flow_key()
+        verdict = (gate, flow if gate(flow) else None)
+        object.__setattr__(packet.five_tuple, "_gate_keep", verdict)
+        return verdict
 
     def add_failure_listener(
         self, callback: Callable[["NetworkFunction"], None]
@@ -250,13 +305,19 @@ class NetworkFunction:
             self._begin_processing(packet, None if rule.silent else rule)
         elif action is EventAction.DROP:
             self.packets_dropped_by_event += 1
-            if self.obs.enabled:
-                self.obs.metrics.counter("nf.packets.dropped").inc(
-                    1, nf=self.name, mode="silent" if rule.silent else "evented"
-                )
+            obs = self.obs
+            if obs.enabled:
+                if self._obs_cache_for is not obs:
+                    self._bind_telemetry(obs)
+                if rule.silent:
+                    self._m_dropped_silent.inc(1)
+                else:
+                    self._m_dropped_evented.inc(1)
                 # A zero-duration span (not a record) so loss-freedom
                 # violations can cite the dropped packet by span id.
-                self.obs.tracer.span(
+                # Never sampled at the source: drops are rare and are
+                # exactly the packets the auditors need to see.
+                obs.tracer.span(
                     "nf.drop",
                     nf=self.name,
                     uid=packet.uid,
@@ -275,13 +336,15 @@ class NetworkFunction:
         else:  # BUFFER
             self.packets_buffered_by_event += 1
             self.buffered_log.append((self.sim.now, packet.uid))
-            if self.obs.enabled:
-                self.obs.metrics.counter("nf.packets.buffered").inc(
-                    1, nf=self.name
-                )
-                self.obs.tracer.record("nf.buffer", nf=self.name,
-                                       uid=packet.uid,
-                                       flow=packet.flow_key())
+            obs = self.obs
+            if obs.enabled:
+                if self._obs_cache_for is not obs:
+                    self._bind_telemetry(obs)
+                self._m_buffered.inc(1)
+                flow = self._gated_flow(obs, packet)
+                if flow is not None:
+                    obs.tracer.record("nf.buffer", nf=self.name,
+                                      uid=packet.uid, flow=flow)
             self._rule_buffers.setdefault(id(rule), []).append(packet)
             self.sim.schedule(self.costs.disposition_ms, self._drain)
 
@@ -307,12 +370,24 @@ class NetworkFunction:
         if self.record_ground_truth:
             self.processing_log.append((self.sim.now, packet.uid))
             self.proc_durations.append((self.sim.now, duration))
-        if self.obs.enabled:
-            self.obs.metrics.counter("nf.packets.processed").inc(
-                1, nf=self.name
-            )
-            self.obs.tracer.record("nf.process", nf=self.name,
-                                   uid=packet.uid, flow=packet.flow_key())
+        obs = self.obs
+        if obs.enabled:
+            if self._obs_cache_for is not obs:
+                self._bind_telemetry(obs)
+            # Inlined _gated_flow: this is the single hottest telemetry
+            # site — the steady state must stay at one dict probe.
+            gate = obs.packet_gate
+            if gate is None:
+                obs.tracer.record("nf.process", nf=self.name,
+                                  uid=packet.uid, flow=packet.flow_key())
+            else:
+                verdict = packet.five_tuple._gate_keep
+                if verdict is None or verdict[0] is not gate:
+                    verdict = self._gate_miss(gate, packet)
+                flow = verdict[1]
+                if flow is not None:
+                    obs.tracer.record("nf.process", nf=self.name,
+                                      uid=packet.uid, flow=flow)
         if rule is not None:
             self._raise_event(packet, EventAction.PROCESS)
         self._drain()

@@ -42,10 +42,23 @@ from repro.obs.export import (
     JsonLinesExporter,
     render_timeline,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    BoundedHistogram,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.operation import OperationTrace
 from repro.obs.recorder import FlightRecorder, render_bundle
+from repro.obs.sampling import SamplingPolicy, TraceSampler
 from repro.obs.span import NULL_SPAN, Span, Tracer
+from repro.obs.timeseries import (
+    ProgressReporter,
+    TimeSeriesHub,
+    format_top,
+    snapshot_top,
+)
 
 
 class _TeeExporter:
@@ -94,8 +107,10 @@ class Observability:
         export_path: Optional[str] = None,
         audit: bool = False,
         recorder: Optional[FlightRecorder] = None,
+        timeseries=None,
+        sampling=None,
     ) -> None:
-        if audit:
+        if audit or timeseries or sampling:
             enabled = True
         if exporter is None and export_path is not None:
             exporter = JsonLinesExporter(export_path)
@@ -107,32 +122,81 @@ class Observability:
         if audit and recorder is None:
             recorder = FlightRecorder()
         self.recorder = recorder
+        #: Optional windowed time-series hub (``timeseries=True`` builds
+        #: one with defaults; or pass a pre-built :class:`TimeSeriesHub`).
+        #: Strictly passive: hot paths fold rates/gauges into it, nothing
+        #: is scheduled, the timeline is byte-identical either way.
+        if timeseries is True:
+            timeseries = TimeSeriesHub(sim=sim)
+        self.timeseries: Optional[TimeSeriesHub] = timeseries or None
+        #: Optional trace sampler (``sampling=True`` → default policy;
+        #: or pass a :class:`SamplingPolicy` / pre-built sampler). It
+        #: wraps the *stored* exporter only — the auditor/recorder taps
+        #: always see the full stream.
+        sampler: Optional[TraceSampler] = None
+        if sampling is not None and sampling is not False \
+                and exporter is not None:
+            if isinstance(sampling, TraceSampler):
+                sampler = sampling
+            elif isinstance(sampling, SamplingPolicy):
+                sampler = TraceSampler(exporter, sampling)
+            else:  # sampling is True
+                sampler = TraceSampler(exporter)
+        self.sampling = sampler
         # The recorder taps *before* the auditors so that a violation
         # fired while a span is being exported can already see that span
         # in the rings when it freezes its bundle.
         taps = [t for t in (self.recorder, self.audit) if t is not None]
-        tracer_exporter = exporter
-        if taps and exporter is not None:
-            tracer_exporter = _TeeExporter(exporter, taps)
+        tracer_exporter = exporter if sampler is None else sampler
+        if taps and tracer_exporter is not None:
+            tracer_exporter = _TeeExporter(tracer_exporter, taps)
         self.tracer = Tracer(sim=sim, exporter=tracer_exporter,
                              enabled=enabled)
         self.metrics = MetricsRegistry()
-        if self.audit is not None and self.recorder is not None:
+        #: Per-flow gate for per-packet trace records (``nf.process`` /
+        #: ``nf.buffer``): when sampling is active and *no* tap needs
+        #: the full stream, the hot paths skip building unsampled
+        #: records entirely. With auditors or a flight recorder
+        #: attached the gate stays None (they require every record) and
+        #: the sampler filters at the storage layer instead.
+        self.packet_gate = None
+        if sampler is not None and not taps:
+            self.packet_gate = sampler.keep_flow
+        if self.audit is not None:
             self.audit.on_violation = self._capture_violation
 
     def _capture_violation(self, violation: Violation) -> None:
-        self.recorder.capture(
-            self,
-            reason="violation",
-            trace_id=violation.trace_id,
-            kind=violation.op_kind,
-            detail=violation.detail,
-            violation=violation,
-        )
+        if self.sampling is not None:
+            self.sampling.flag(violation.trace_id)
+        if self.recorder is not None:
+            self.recorder.capture(
+                self,
+                reason="violation",
+                trace_id=violation.trace_id,
+                kind=violation.op_kind,
+                detail=violation.detail,
+                violation=violation,
+            )
 
     def violations(self) -> List[Violation]:
-        """Finalize the auditors and return every violation found."""
-        return [] if self.audit is None else self.audit.finalize()
+        """Finalize the auditors and return every violation found.
+
+        Finalize-time violations flag their operations with the trace
+        sampler *before* it flushes still-open operations, so a trace
+        discarded mid-run can still be resurrected here.
+        """
+        found = [] if self.audit is None else self.audit.finalize()
+        self.flush_sampling()
+        return found
+
+    def flush_sampling(self):
+        """Flush the trace sampler's still-open operations, if any.
+
+        Returns the sampler's stats dict (``None`` without a sampler).
+        """
+        if self.sampling is not None:
+            return self.sampling.finalize()
+        return None
 
     def operation(self, sim, report, kind: str, **attrs) -> OperationTrace:
         """Start an :class:`OperationTrace` for one northbound operation."""
@@ -146,6 +210,7 @@ NULL_OBS = Observability()
 
 __all__ = [
     "AuditPipeline",
+    "BoundedHistogram",
     "Counter",
     "FlightRecorder",
     "Gauge",
@@ -157,11 +222,17 @@ __all__ = [
     "NULL_SPAN",
     "Observability",
     "OperationTrace",
+    "ProgressReporter",
+    "SamplingPolicy",
     "Span",
+    "TimeSeriesHub",
+    "TraceSampler",
     "Tracer",
     "Violation",
+    "format_top",
     "load_trace_entries",
     "render_bundle",
     "render_timeline",
     "replay_trace",
+    "snapshot_top",
 ]

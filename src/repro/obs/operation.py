@@ -106,6 +106,20 @@ class OperationTrace:
         self.root.finish()
         if self.trace_id is None or already_finished:
             return
+        duration = self.root.duration_ms
+        self.obs.metrics.histogram("op.latency_ms").observe(
+            duration, kind=self.kind
+        )
+        hub = getattr(self.obs, "timeseries", None)
+        if hub is not None:
+            # Label is `op=` (not `kind=`): the hub's series() reserves
+            # the `kind` keyword for the series type (rate vs gauge).
+            hub.gauge("op.latency_ms", duration, op=self.kind)
+            hub.inc("ops.completed", 1.0, op=self.kind)
+        # The op.end record is what lets streaming consumers (auditors,
+        # the trace sampler) close the operation; the root span was
+        # exported just above, so the sampler already knows the
+        # duration when this record triggers its keep/discard decision.
         self.obs.tracer.record(
             "op.end",
             trace_id=self.trace_id,

@@ -142,6 +142,16 @@ class Simulator:
         """Total callbacks executed so far (useful for runaway detection)."""
         return self._event_count
 
+    @property
+    def pending(self) -> int:
+        """Queued (possibly cancelled) entries still awaiting execution.
+
+        A cheap liveness probe: the progress reporter re-arms its next
+        tick only while this is non-zero, so it can never keep the
+        event loop alive on its own.
+        """
+        return len(self._queue)
+
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> _ScheduledCall:

@@ -46,6 +46,13 @@ class FlowBlueprint:
     five_tuple: FiveTuple
     packets: List[PacketBlueprint] = field(default_factory=list)
     kind: str = "generic"
+    #: Reverse-direction tuple, built once and shared by every reply
+    #: packet of the flow. Sharing matters beyond allocation: per-flow
+    #: caches (flow keys, sampling verdicts) memoize on the tuple
+    #: object, so one instance per direction keeps them O(flows).
+    _reversed: Optional[FiveTuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     def add(
         self,
@@ -54,7 +61,12 @@ class FlowBlueprint:
         payload: str = "",
         reverse: bool = False,
     ) -> None:
-        tuple_ = self.five_tuple.reversed() if reverse else self.five_tuple
+        if reverse:
+            tuple_ = self._reversed
+            if tuple_ is None:
+                tuple_ = self._reversed = self.five_tuple.reversed()
+        else:
+            tuple_ = self.five_tuple
         self.packets.append(
             PacketBlueprint(tuple_, tuple(flags), seq, payload)
         )

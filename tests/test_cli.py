@@ -108,3 +108,36 @@ class TestTraceCommand:
             for entry in lines
         )
         assert any(entry["type"] == "record" for entry in lines)
+
+
+@pytest.mark.obs
+class TestTopCommand:
+    def test_top_streams_snapshots_and_exports(self, tmp_path, capsys):
+        path = tmp_path / "windows.jsonl"
+        code = main([
+            "top", "--flows", "20", "--interval", "50",
+            "--jsonl", str(path), "--prometheus",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Periodic frames plus the final one: events, shard inboxes,
+        # per-NF rates, and the sampler's keep counters.
+        assert out.count("ops-in-flight") >= 2
+        assert "shard 0:" in out
+        assert "nf inst1:" in out
+        assert "pkt/s" in out
+        assert "sampling:" in out
+        assert "move[loss-free]" in out
+        # Exports: JSONL windows on disk, Prometheus text on stdout.
+        import json
+
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines and all(e["type"] == "timeseries" for e in lines)
+        assert "_rate_per_s" in out or "_last" in out
+
+    def test_top_sharded_offloaded(self, capsys):
+        code = main(["top", "--flows", "20", "--shards", "2",
+                     "--offload", "--interval", "100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shard 0:" in out and "shard 1:" in out

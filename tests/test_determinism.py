@@ -76,3 +76,48 @@ class TestObservedDeterminism:
             run_move_experiment("op", n_flows=40, seed=5, observe=True)
         )
         assert plain == seen
+
+
+@pytest.mark.obs
+class TestTelemetryDeterminism:
+    """Full telemetry (time-series + sampling) must be purely passive.
+
+    The scale-ready claim rests on this: leaving the windowed
+    time-series, the trace sampler, and the bounded histograms on must
+    leave the operation timeline byte-identical to a bare run — on a
+    single controller, on a sharded control plane, and with the
+    data-plane offload engaged.
+    """
+
+    @pytest.mark.parametrize("extra", [
+        {},
+        {"shards": 2},
+        {"offload": True},
+    ], ids=["single", "shards2", "offload"])
+    def test_telemetry_does_not_perturb_the_world(self, extra):
+        reset_uid_counter()
+        plain = snapshot(
+            run_move_experiment("lf", n_flows=40, seed=5, **extra)
+        )
+        reset_uid_counter()
+        telemetered = snapshot(
+            run_move_experiment("lf", n_flows=40, seed=5, telemetry=True,
+                                **extra)
+        )
+        assert plain == telemetered
+
+    def test_same_seed_same_telemetry(self):
+        def capture():
+            reset_uid_counter()
+            result = run_move_experiment("lf", n_flows=40, seed=5,
+                                         telemetry=True)
+            obs = result.deployment.obs
+            stats = obs.flush_sampling()
+            return {
+                "windows": obs.timeseries.snapshot(),
+                "prometheus": obs.timeseries.render_prometheus(),
+                "sampling": stats,
+                "records": list(obs.exporter.records),
+            }
+
+        assert capture() == capture()

@@ -9,10 +9,13 @@ opens — measured by the instrumentation itself, not by the mechanism
 under test.
 """
 
+import random
+
 import pytest
 
 from repro.harness import run_move_experiment
 from repro.obs import MetricsRegistry
+from repro.obs.metrics import GAMMA, OVERFLOW_LABELS, percentile_of
 
 pytestmark = pytest.mark.obs
 
@@ -60,7 +63,7 @@ class TestGauge:
 
 class TestHistogram:
     def test_aggregates(self):
-        hist = MetricsRegistry().histogram("rpc_ms")
+        hist = MetricsRegistry(bounded_histograms=False).histogram("rpc_ms")
         for value in (2.0, 4.0, 9.0):
             hist.observe(value, op="get")
         assert hist.count(op="get") == 3
@@ -69,6 +72,24 @@ class TestHistogram:
         assert hist.max(op="get") == 9.0
         assert hist.mean(op="get") == 5.0
         assert hist.values(op="get") == [2.0, 4.0, 9.0]
+
+    def test_bounded_aggregates_exact(self):
+        # count/sum/min/max/mean are exact on the bounded implementation;
+        # only percentile is approximate.
+        hist = MetricsRegistry().histogram("rpc_ms")
+        for value in (2.0, 4.0, 9.0):
+            hist.observe(value, op="get")
+        assert hist.count(op="get") == 3
+        assert hist.sum(op="get") == 15.0
+        assert hist.min(op="get") == 2.0
+        assert hist.max(op="get") == 9.0
+        assert hist.mean(op="get") == 5.0
+
+    def test_bounded_values_rejected(self):
+        hist = MetricsRegistry().histogram("rpc_ms")
+        hist.observe(1.0)
+        with pytest.raises(TypeError):
+            hist.values()
 
     def test_empty_series(self):
         hist = MetricsRegistry().histogram("rpc_ms")
@@ -88,7 +109,7 @@ class TestHistogram:
         }
 
     def test_percentiles_nearest_rank(self):
-        hist = MetricsRegistry().histogram("rpc_ms")
+        hist = MetricsRegistry(bounded_histograms=False).histogram("rpc_ms")
         for value in range(1, 101):
             hist.observe(float(value))
         assert hist.percentile(50) == 50.0
@@ -96,6 +117,64 @@ class TestHistogram:
         assert hist.percentile(99) == 99.0
         assert hist.percentile(100) == 100.0
         assert hist.percentile(50, op="missing") is None
+
+    def test_percentile_edge_cases(self):
+        for bounded in (False, True):
+            hist = MetricsRegistry(
+                bounded_histograms=bounded
+            ).histogram("rpc_ms")
+            hist.observe(7.5)
+            # A single sample IS every percentile.
+            assert hist.percentile(0) == 7.5
+            assert hist.percentile(50) == 7.5
+            assert hist.percentile(100) == 7.5
+            with pytest.raises(ValueError):
+                hist.percentile(-1)
+            with pytest.raises(ValueError):
+                hist.percentile(101)
+
+    def test_percentile_of_edges(self):
+        assert percentile_of([], 50) is None
+        assert percentile_of([3.0], 0) == 3.0
+        assert percentile_of([3.0], 100) == 3.0
+        assert percentile_of([5.0, 1.0, 3.0], 0) == 1.0
+        assert percentile_of([5.0, 1.0, 3.0], 100) == 5.0
+        with pytest.raises(ValueError):
+            percentile_of([1.0], 120)
+
+    def test_bounded_within_one_bucket_of_raw_oracle(self):
+        """Differential test: bounded percentiles land within one
+        log-bucket width of the exact nearest-rank answer."""
+        rng = random.Random(20260808)
+        for trial in range(20):
+            exact_reg = MetricsRegistry(bounded_histograms=False)
+            approx_reg = MetricsRegistry()
+            exact_hist = exact_reg.histogram("lat")
+            approx_hist = approx_reg.histogram("lat")
+            n = rng.randrange(1, 400)
+            for _ in range(n):
+                # Mix of magnitudes: sub-ms to tens of seconds.
+                value = rng.uniform(0.01, 10.0) * 10 ** rng.randrange(0, 4)
+                exact_hist.observe(value)
+                approx_hist.observe(value)
+            for q in (0, 1, 25, 50, 90, 99, 100):
+                exact = exact_hist.percentile(q)
+                approx = approx_hist.percentile(q)
+                assert exact <= approx <= exact * GAMMA * (1 + 1e-9), (
+                    trial, q, exact, approx
+                )
+
+    def test_bounded_zero_and_negative_samples(self):
+        hist = MetricsRegistry().histogram("delta")
+        for value in (-4.0, -1.0, 0.0, 2.0):
+            hist.observe(value)
+        assert hist.min() == -4.0
+        assert hist.max() == 2.0
+        assert hist.percentile(0) == -4.0
+        assert hist.percentile(100) == 2.0
+        # p50 (rank 2 of 4) falls on the -1.0 sample's bucket.
+        p50 = hist.percentile(50)
+        assert -1.0 * GAMMA * (1 + 1e-9) <= p50 <= -1.0 / GAMMA * (1 - 1e-9)
 
     def test_render_prometheus(self):
         registry = MetricsRegistry()
@@ -114,6 +193,90 @@ class TestHistogram:
         assert 'rpc_ms{op="put",quantile="0.99"} 3' in text
         assert 'rpc_ms_sum{op="put"} 4' in text
         assert 'rpc_ms_count{op="put"} 2' in text
+
+
+class TestCardinalityGuard:
+    def test_overflow_aggregates_and_warns_once(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        counter = registry.counter("pkts")
+        for i in range(3):
+            counter.inc(1, flow="f%d" % i)
+        with pytest.warns(RuntimeWarning):
+            counter.inc(2, flow="f3")
+        # Second overflow does NOT warn again.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            counter.inc(3, flow="f4")
+        # Existing label sets still track exactly.
+        assert counter.value(flow="f0") == 1
+        # Overflowed increments aggregate into the 'other' bucket.
+        assert counter.value(**OVERFLOW_LABELS) == 5
+        assert counter.total() == 8
+        assert counter.overflow_routed == 2
+
+    def test_reset_reopens_capacity(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        counter = registry.counter("pkts")
+        counter.inc(1, flow="a")
+        with pytest.warns(RuntimeWarning):
+            counter.inc(1, flow="b")
+        registry.reset()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            counter.inc(4, flow="c")  # capacity is free again, no warn
+        assert counter.value(flow="c") == 4
+
+    def test_histogram_overflow(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        hist = registry.histogram("lat")
+        hist.observe(1.0, flow="a")
+        with pytest.warns(RuntimeWarning):
+            hist.observe(9.0, flow="b")
+        assert hist.count(flow="a") == 1
+        assert hist.count(**OVERFLOW_LABELS) == 1
+
+
+class TestBoundHandles:
+    def test_bound_counter_matches_keyword_path(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pkts")
+        handle = counter.bind(nf="a")
+        handle.inc(2)
+        handle.inc()
+        counter.inc(5, nf="a")
+        assert counter.value(nf="a") == 8
+        with pytest.raises(ValueError):
+            handle.inc(-1)
+
+    def test_bound_handles_survive_reset(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pkts")
+        gauge = registry.gauge("depth")
+        hist = registry.histogram("lat")
+        bound_counter = counter.bind(nf="a")
+        bound_gauge = gauge.bind(q="x")
+        bound_hist = hist.bind(op="get")
+        bound_counter.inc(1)
+        registry.reset()
+        bound_counter.inc(3)
+        bound_gauge.set(2.0)
+        bound_gauge.add(1.0)
+        bound_hist.observe(4.0)
+        assert counter.value(nf="a") == 3
+        assert gauge.value(q="x") == 3.0
+        assert hist.count(op="get") == 1
+
+    def test_bound_raw_histogram(self):
+        registry = MetricsRegistry(bounded_histograms=False)
+        hist = registry.histogram("lat")
+        handle = hist.bind(op="get")
+        handle.observe(1.0)
+        handle.observe(2.0)
+        assert hist.values(op="get") == [1.0, 2.0]
 
 
 class TestRegistry:
@@ -136,6 +299,43 @@ class TestRegistry:
         assert registry.names() == ["x", "y"]
         assert registry.counter("x").total() == 0
         assert registry.histogram("y").count() == 0
+
+
+class TestPullCollectors:
+    """Hot paths accumulate plain ints; readers pull them on demand."""
+
+    def test_collector_folds_latest_total_on_every_read(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        registry.add_collector(
+            "ext", lambda reg: reg.counter("ext.pkts").load(
+                state["n"], src="a")
+        )
+        state["n"] = 5
+        assert registry.snapshot()["ext.pkts"]["series"] == {"src=a": 5}
+        # load() overwrites — a later read reflects the new total, it
+        # does not accumulate on top of the old one.
+        state["n"] = 9
+        assert 'ext_pkts{src="a"} 9' in registry.render_prometheus()
+        assert registry.snapshot()["ext.pkts"]["series"] == {"src=a": 9}
+
+    def test_collector_reregistration_replaces(self):
+        registry = MetricsRegistry()
+        registry.add_collector(
+            "k", lambda reg: reg.counter("c").load(1)
+        )
+        registry.add_collector(
+            "k", lambda reg: reg.counter("c").load(2)
+        )
+        assert registry.snapshot()["c"]["series"] == {"_": 2}
+
+    def test_iteration_triggers_collection(self):
+        registry = MetricsRegistry()
+        registry.add_collector(
+            "k", lambda reg: reg.counter("c").load(7)
+        )
+        instruments = {inst.name: inst for inst in registry}
+        assert instruments["c"].value() == 7
 
 
 class TestBufferConservation:
